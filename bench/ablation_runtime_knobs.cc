@@ -1,0 +1,56 @@
+// Ablation: the two runtime-side knobs DESIGN.md calls out —
+//   * the slack bound (how far the compiler may hoist an access), and
+//   * the client-side prefetch buffer capacity.
+// Both gate the scheme's ability to create long per-node idle windows.
+#include "bench/bench_common.h"
+
+using namespace dasched;
+using namespace dasched::bench;
+
+int main() {
+  print_header("Ablation — slack bound and prefetch buffer capacity",
+               "DESIGN.md design-choice ablations (not a paper figure)");
+  Runner runner;
+  const std::string app = "sar";
+  const double base = runner.baseline(app).energy_j;
+
+  {
+    TextTable table({"max slack (slots)", "history + scheme energy",
+                     "vs default", "prefetches"});
+    for (Slot bound : {Slot{50}, Slot{200}, Slot{600}, Slot{2'000}}) {
+      const auto set_bound = [bound](ExperimentConfig& cfg) {
+        cfg.max_slack = bound;
+      };
+      const ExperimentResult r =
+          runner.run(app, PolicyKind::kHistory, true,
+                     "slack" + std::to_string(bound), set_bound);
+      table.add_row({std::to_string(bound),
+                     TextTable::fmt(r.energy_j / 1'000.0, 1) + " kJ",
+                     TextTable::pct(r.energy_j / base),
+                     std::to_string(r.runtime.prefetches)});
+    }
+    table.print();
+  }
+
+  std::printf("\n");
+
+  {
+    TextTable table({"buffer capacity", "history + scheme energy",
+                     "vs default", "buffer hits"});
+    for (Bytes capacity : {mib(16), mib(64), mib(128), mib(512)}) {
+      const auto set_buffer = [capacity](ExperimentConfig& cfg) {
+        cfg.runtime.buffer_capacity = capacity;
+      };
+      const ExperimentResult r =
+          runner.run(app, PolicyKind::kHistory, true,
+                     "buf" + std::to_string(capacity >> 20), set_buffer);
+      table.add_row({std::to_string(capacity >> 20) + " MB",
+                     TextTable::fmt(r.energy_j / 1'000.0, 1) + " kJ",
+                     TextTable::pct(r.energy_j / base),
+                     std::to_string(r.runtime.buffer_hits)});
+    }
+    table.print();
+  }
+  std::printf("\n(application: sar)\n");
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Shared plumbing for the figure/table reproduction binaries.
+//
+// Every bench binary replays the paper's experimental grid through
+// `run_experiment` and prints the corresponding rows/series as an ASCII
+// table.  Scale knobs (environment variables) let CI run the grid quickly:
+//   DASCHED_BENCH_SCALE  workload scale factor (default 1.0 = calibrated)
+//   DASCHED_BENCH_PROCS  client processes     (default 32, Table II)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "util/table.h"
+
+namespace dasched::bench {
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atof(v);
+}
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atoi(v);
+}
+
+inline WorkloadScale bench_scale() {
+  WorkloadScale s;
+  s.factor = env_double("DASCHED_BENCH_SCALE", 0.5);
+  s.num_processes = env_int("DASCHED_BENCH_PROCS", 32);
+  return s;
+}
+
+/// The six applications in Table III order.
+inline const std::vector<std::string>& all_app_names() {
+  static const std::vector<std::string> names{"hf",   "sar",       "astro",
+                                              "apsi", "madbench2", "wupwise"};
+  return names;
+}
+
+/// Fast subset used by the parameter sweeps (Figs. 13c/d, 14a/b), where the
+/// paper reports aggregate trends rather than per-application bars.
+inline const std::vector<std::string>& sweep_app_names() {
+  static const std::vector<std::string> names{"sar", "apsi", "madbench2"};
+  return names;
+}
+
+inline const std::vector<PolicyKind>& all_policies() {
+  static const std::vector<PolicyKind> kinds{
+      PolicyKind::kSimple, PolicyKind::kPrediction, PolicyKind::kHistory,
+      PolicyKind::kStaggered};
+  return kinds;
+}
+
+inline ExperimentConfig base_config(const std::string& app) {
+  ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.scale = bench_scale();
+  return cfg;
+}
+
+/// Runs one experiment, caching results per (app, policy, scheme, tag) so a
+/// bench binary never repeats an identical run.
+class Runner {
+ public:
+  using Mutator = std::function<void(ExperimentConfig&)>;
+
+  ExperimentResult run(const std::string& app, PolicyKind policy, bool scheme,
+                       const std::string& tag = "", const Mutator& mutate = {}) {
+    const std::string key =
+        app + "/" + to_string(policy) + "/" + (scheme ? "s" : "b") + "/" + tag;
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+
+    ExperimentConfig cfg = base_config(app);
+    cfg.policy = policy;
+    cfg.use_scheme = scheme;
+    if (mutate) mutate(cfg);
+    std::fprintf(stderr, "[bench] running %s ...\n", key.c_str());
+    ExperimentResult result = run_experiment(cfg);
+    cache_.emplace(key, result);
+    return result;
+  }
+
+  /// Default-scheme baseline (no policy, no scheme).
+  ExperimentResult baseline(const std::string& app, const std::string& tag = "",
+                            const Mutator& mutate = {}) {
+    return run(app, PolicyKind::kNone, false, tag, mutate);
+  }
+
+ private:
+  std::map<std::string, ExperimentResult> cache_;
+};
+
+/// Prints the Fig. 12-style idle-period CDF table for all applications.
+inline void print_idle_cdf(Runner& runner, bool scheme) {
+  std::vector<std::string> header{"idleness (msec)"};
+  for (const std::string& name : all_app_names()) header.push_back(name);
+  TextTable table(std::move(header));
+
+  std::map<std::string, std::vector<double>> cdfs;
+  for (const std::string& name : all_app_names()) {
+    const ExperimentResult r = runner.run(name, PolicyKind::kNone, scheme, "cdf");
+    cdfs[name] = r.storage.idle_periods.cdf();
+  }
+  const auto edges = DurationHistogram::paper_edges_msec();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    std::vector<std::string> row{TextTable::fmt(edges[i], 0)};
+    for (const std::string& name : all_app_names()) {
+      row.push_back(TextTable::pct(cdfs[name][i]));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+}
+
+/// Prints the Fig. 12(c/d) / 13(a/b)-style grid: one row per application,
+/// one column per policy, plus a cross-application average row.
+/// `metric` maps (policy run, default-scheme baseline) to a fraction.
+inline void print_policy_grid(
+    Runner& runner, bool scheme,
+    const std::function<double(const ExperimentResult&,
+                               const ExperimentResult&)>& metric) {
+  TextTable table(
+      {"application", "simple", "prediction", "history", "staggered"});
+  std::map<PolicyKind, double> sums;
+  for (const std::string& name : all_app_names()) {
+    const ExperimentResult base = runner.baseline(name);
+    std::vector<std::string> row{name};
+    for (PolicyKind kind : all_policies()) {
+      const ExperimentResult r = runner.run(name, kind, scheme);
+      const double v = metric(r, base);
+      sums[kind] += v;
+      row.push_back(TextTable::pct(v));
+    }
+    table.add_row(std::move(row));
+  }
+  std::vector<std::string> avg{"average"};
+  for (PolicyKind kind : all_policies()) {
+    avg.push_back(
+        TextTable::pct(sums[kind] / static_cast<double>(all_app_names().size())));
+  }
+  table.add_row(std::move(avg));
+  table.print();
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("== %s ==\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  const WorkloadScale s = bench_scale();
+  std::printf("scale: factor=%.2f processes=%d\n\n", s.factor, s.num_processes);
+}
+
+}  // namespace dasched::bench

@@ -1,0 +1,13 @@
+// Fig. 12(a): CDF of disk idle-period lengths without the scheme.
+#include "bench/bench_common.h"
+
+using namespace dasched;
+using namespace dasched::bench;
+
+int main() {
+  print_header("Fig. 12(a) \u2014 idle period CDF, without our scheme",
+               "Fig. 12(a): y% of idle periods have length x msec or less");
+  Runner runner;
+  print_idle_cdf(runner, /*scheme=*/false);
+  return 0;
+}

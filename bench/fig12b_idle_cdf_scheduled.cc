@@ -1,0 +1,14 @@
+// Fig. 12(b): CDF of disk idle-period lengths with the compiler-directed
+// scheme: the distribution shifts right (longer idle periods).
+#include "bench/bench_common.h"
+
+using namespace dasched;
+using namespace dasched::bench;
+
+int main() {
+  print_header("Fig. 12(b) \u2014 idle period CDF, with our scheme",
+               "Fig. 12(b): idle periods lengthen under scheduling");
+  Runner runner;
+  print_idle_cdf(runner, /*scheme=*/true);
+  return 0;
+}

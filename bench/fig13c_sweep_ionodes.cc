@@ -1,0 +1,36 @@
+// Fig. 13(c): additional energy reduction brought by the scheme over the
+// history-based strategy, as the number of I/O nodes varies (2..32).
+#include "bench/bench_common.h"
+
+using namespace dasched;
+using namespace dasched::bench;
+
+int main() {
+  print_header("Fig. 13(c) — energy reduction vs number of I/O nodes",
+               "Fig. 13(c): reduction grows mildly with more I/O nodes");
+  Runner runner;
+  TextTable table({"I/O nodes", "history (no scheme)", "history + scheme",
+                   "reduction from scheme"});
+  for (int nodes : {2, 4, 8, 16, 32}) {
+    const std::string tag = "nodes" + std::to_string(nodes);
+    const auto set_nodes = [nodes](ExperimentConfig& cfg) {
+      cfg.storage.num_io_nodes = nodes;
+    };
+    double without = 0.0;
+    double with = 0.0;
+    double base = 0.0;
+    for (const std::string& app : sweep_app_names()) {
+      base += runner.baseline(app, tag, set_nodes).energy_j;
+      without +=
+          runner.run(app, PolicyKind::kHistory, false, tag, set_nodes).energy_j;
+      with +=
+          runner.run(app, PolicyKind::kHistory, true, tag, set_nodes).energy_j;
+    }
+    table.add_row({std::to_string(nodes), TextTable::pct(without / base),
+                   TextTable::pct(with / base),
+                   TextTable::pct((without - with) / without)});
+  }
+  table.print();
+  std::printf("\n(aggregated over: sar, apsi, madbench2)\n");
+  return 0;
+}

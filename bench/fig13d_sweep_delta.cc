@@ -1,0 +1,35 @@
+// Fig. 13(d): additional energy reduction of the scheme (over history-based)
+// as the vertical reuse range delta varies — both very small and very large
+// values hurt, with an interior optimum near the Table II default of 20.
+#include "bench/bench_common.h"
+
+using namespace dasched;
+using namespace dasched::bench;
+
+int main() {
+  print_header("Fig. 13(d) — energy reduction vs delta",
+               "Fig. 13(d): interior optimum of the vertical reuse range");
+  Runner runner;
+  TextTable table({"delta", "history (no scheme)", "history + scheme",
+                   "reduction from scheme"});
+  for (int delta : {5, 10, 20, 40, 80}) {
+    const std::string tag = "delta" + std::to_string(delta);
+    const auto set_delta = [delta](ExperimentConfig& cfg) {
+      cfg.compile.sched.delta = delta;
+    };
+    double without = 0.0;
+    double with = 0.0;
+    for (const std::string& app : sweep_app_names()) {
+      without +=
+          runner.run(app, PolicyKind::kHistory, false, tag, set_delta).energy_j;
+      with +=
+          runner.run(app, PolicyKind::kHistory, true, tag, set_delta).energy_j;
+    }
+    table.add_row({std::to_string(delta), TextTable::fmt(without / 1'000.0, 1) + " kJ",
+                   TextTable::fmt(with / 1'000.0, 1) + " kJ",
+                   TextTable::pct((without - with) / without)});
+  }
+  table.print();
+  std::printf("\n(aggregated over: sar, apsi, madbench2)\n");
+  return 0;
+}

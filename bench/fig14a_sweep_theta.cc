@@ -1,0 +1,36 @@
+// Fig. 14(a): energy reduction of the scheme (over history-based) as the
+// per-node access cap theta varies — larger theta permits denser clustering
+// and larger energy gains.
+#include "bench/bench_common.h"
+
+using namespace dasched;
+using namespace dasched::bench;
+
+int main() {
+  print_header("Fig. 14(a) — energy reduction vs theta",
+               "Fig. 14(a): larger theta increases energy gains");
+  Runner runner;
+  TextTable table({"theta", "history (no scheme)", "history + scheme",
+                   "reduction from scheme"});
+  for (int theta : {2, 4, 6, 8}) {
+    const std::string tag = "theta" + std::to_string(theta);
+    const auto set_theta = [theta](ExperimentConfig& cfg) {
+      cfg.compile.sched.theta = theta;
+    };
+    double without = 0.0;
+    double with = 0.0;
+    for (const std::string& app : sweep_app_names()) {
+      without +=
+          runner.run(app, PolicyKind::kHistory, false, tag, set_theta).energy_j;
+      with +=
+          runner.run(app, PolicyKind::kHistory, true, tag, set_theta).energy_j;
+    }
+    table.add_row({std::to_string(theta),
+                   TextTable::fmt(without / 1'000.0, 1) + " kJ",
+                   TextTable::fmt(with / 1'000.0, 1) + " kJ",
+                   TextTable::pct((without - with) / without)});
+  }
+  table.print();
+  std::printf("\n(aggregated over: sar, apsi, madbench2)\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fig. 14(b): performance improvement of the scheme (over history-based
+// without scheduling) as theta varies — the paper finds larger theta trades
+// performance for energy.
+#include "bench/bench_common.h"
+
+using namespace dasched;
+using namespace dasched::bench;
+
+int main() {
+  print_header("Fig. 14(b) — performance improvement vs theta",
+               "Fig. 14(b): performance benefit of the scheme per theta");
+  Runner runner;
+  TextTable table({"theta", "exec no scheme (min)", "exec + scheme (min)",
+                   "improvement"});
+  for (int theta : {2, 4, 6, 8}) {
+    const std::string tag = "theta" + std::to_string(theta);
+    const auto set_theta = [theta](ExperimentConfig& cfg) {
+      cfg.compile.sched.theta = theta;
+    };
+    double without = 0.0;
+    double with = 0.0;
+    for (const std::string& app : sweep_app_names()) {
+      without += to_sec(
+          runner.run(app, PolicyKind::kHistory, false, tag, set_theta).exec_time);
+      with += to_sec(
+          runner.run(app, PolicyKind::kHistory, true, tag, set_theta).exec_time);
+    }
+    table.add_row({std::to_string(theta), TextTable::fmt(without / 60.0, 2),
+                   TextTable::fmt(with / 60.0, 2),
+                   TextTable::pct((without - with) / without)});
+  }
+  table.print();
+  std::printf("\n(aggregated over: sar, apsi, madbench2)\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Google-benchmark microbenchmarks of the compile-time machinery.
+//
+// Sec. V-A reports the longest compilation taking ~1.4 s, roughly 40% more
+// than without the scheme; these benches measure the cost of our slack
+// analysis and scheduling passes so that claim can be checked against this
+// implementation (see EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include "compiler/compile.h"
+#include "core/scheduler.h"
+#include "util/rng.h"
+#include "workload/app.h"
+
+namespace dasched {
+namespace {
+
+void BM_SignatureDistance(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Signature a(n);
+  Signature b(n);
+  for (int i = 0; i < n / 4 + 1; ++i) {
+    a.set(static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n))));
+    b.set(static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance(a, b));
+  }
+}
+BENCHMARK(BM_SignatureDistance)->Arg(8)->Arg(32)->Arg(256);
+
+std::vector<AccessRecord> random_accesses(int count, int nodes, Slot slots,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<AccessRecord> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    AccessRecord rec;
+    rec.id = i;
+    rec.process = i % 32;
+    rec.end = static_cast<Slot>(rng.next_below(static_cast<std::uint64_t>(slots)));
+    rec.begin = rec.end - static_cast<Slot>(rng.next_below(
+                              static_cast<std::uint64_t>(rec.end) + 1));
+    rec.original = rec.end;
+    rec.sig = Signature(nodes);
+    rec.sig.set(static_cast<int>(rng.next_below(static_cast<std::uint64_t>(nodes))));
+    rec.sig.set(static_cast<int>(rng.next_below(static_cast<std::uint64_t>(nodes))));
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+void BM_BasicScheduling(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  const Slot slots = 4'096;
+  auto accesses = random_accesses(count, 8, slots, 42);
+  for (auto _ : state) {
+    AccessScheduler sched(8, slots, ScheduleOptions{});
+    benchmark::DoNotOptimize(sched.schedule(accesses));
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_BasicScheduling)->Arg(1'000)->Arg(10'000)->Unit(benchmark::kMillisecond);
+
+void BM_ThetaConstrainedScheduling(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  const Slot slots = 4'096;
+  auto accesses = random_accesses(count, 8, slots, 7);
+  ScheduleOptions opts;
+  opts.theta = 4;
+  for (auto _ : state) {
+    AccessScheduler sched(8, slots, opts);
+    benchmark::DoNotOptimize(sched.schedule(accesses));
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_ThetaConstrainedScheduling)->Arg(1'000)->Arg(10'000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Full compiler pipeline on a real workload — the paper's "compilation
+/// time" figure.  Run once per iteration at the test scale.
+void BM_CompilePipeline(benchmark::State& state) {
+  const bool scheduling = state.range(0) != 0;
+  WorkloadScale scale;
+  scale.num_processes = 32;
+  scale.factor = 0.25;
+  for (auto _ : state) {
+    state.PauseTiming();
+    StripingMap striping(8, kib(64));
+    CompiledProgram trace = app_by_name("sar").build(striping, scale);
+    state.ResumeTiming();
+    CompileOptions opts;
+    opts.enable_scheduling = scheduling;
+    opts.slack.max_slack = 600;
+    benchmark::DoNotOptimize(compile_trace(std::move(trace), striping, opts));
+  }
+}
+BENCHMARK(BM_CompilePipeline)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"scheduling"});
+
+void BM_ReuseFactor(benchmark::State& state) {
+  AccessScheduler sched(8, 1'000, ScheduleOptions{.delta = 20});
+  auto accesses = random_accesses(200, 8, 1'000, 3);
+  for (const auto& a : accesses) sched.place(a, a.end);
+  AccessRecord probe = accesses.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.reuse_factor(probe, 500));
+  }
+}
+BENCHMARK(BM_ReuseFactor);
+
+}  // namespace
+}  // namespace dasched
+
+BENCHMARK_MAIN();

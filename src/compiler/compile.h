@@ -1,0 +1,55 @@
+// The full compiler pipeline (Fig. 4, left half).
+//
+//   loop-nest IR (or recorded trace)
+//     -> lowering / coarsening          (lower.h)
+//     -> access slack determination     (slack.h)
+//     -> data access scheduling         (core/scheduler.h)
+//     -> scheduling table               (core/scheduling_table.h)
+//
+// The result bundles everything the runtime needs: the lowered program the
+// client processes execute, and the per-process scheduling tables the
+// runtime scheduler threads follow.
+#pragma once
+
+#include "compiler/dependence.h"
+#include "compiler/loop_program.h"
+#include "compiler/lower.h"
+#include "compiler/program.h"
+#include "compiler/slack.h"
+#include "core/scheduler.h"
+#include "core/scheduling_table.h"
+
+namespace dasched {
+
+struct CompileOptions {
+  ScheduleOptions sched;
+  LowerOptions lowering;
+  SlackOptions slack;
+  /// When false the pipeline stops after slack analysis and every access is
+  /// "scheduled" at its original point — the paper's baseline runs.
+  bool enable_scheduling = true;
+};
+
+struct Compiled {
+  CompiledProgram program;
+  /// Per-access decisions, indexed by AccessRecord::id.
+  std::vector<ScheduledAccess> scheduled;
+  SchedulingTable table;
+  ScheduleStats sched_stats;
+  /// Affine path only: statement-pair independence statistics from the
+  /// Omega-lite screen (GCD + Banerjee); zero-initialized on the trace path.
+  DependenceSummary dependence;
+};
+
+/// Affine path: IR -> lowered program -> slacks -> schedule.
+[[nodiscard]] Compiled compile(const LoopProgram& program, int num_processes,
+                               const StripingMap& striping,
+                               const CompileOptions& opts = {});
+
+/// Profiling path: an already-lowered (recorded) program -> slacks ->
+/// schedule.  Coarsening should have been applied by the recorder.
+[[nodiscard]] Compiled compile_trace(CompiledProgram lowered,
+                                     const StripingMap& striping,
+                                     const CompileOptions& opts = {});
+
+}  // namespace dasched

@@ -1,0 +1,215 @@
+#include "compiler/dependence.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dasched {
+
+AffineExpr rename_vars(const AffineExpr& e, const std::string& suffix) {
+  AffineExpr out(e.constant());
+  for (const std::string& var : e.variables()) {
+    out += e.coefficient(var) * AffineExpr::var(var + suffix);
+  }
+  return out;
+}
+
+bool gcd_admits_solution(const AffineExpr& h, std::int64_t c) {
+  std::int64_t g = 0;
+  for (const std::string& var : h.variables()) {
+    g = std::gcd(g, std::abs(h.coefficient(var)));
+  }
+  if (g == 0) return c == 0;  // no variables: only the trivial equation
+  return c % g == 0;
+}
+
+ValueRange value_range(const AffineExpr& e, std::span<const VarBound> bounds) {
+  ValueRange r{e.constant(), e.constant()};
+  for (const std::string& var : e.variables()) {
+    const std::int64_t coeff = e.coefficient(var);
+    const auto it = std::find_if(bounds.begin(), bounds.end(),
+                                 [&var](const VarBound& b) { return b.var == var; });
+    if (it == bounds.end()) continue;  // unbound vars are substituted earlier
+    const std::int64_t lo = coeff * it->lower;
+    const std::int64_t hi = coeff * it->upper;
+    r.min += std::min(lo, hi);
+    r.max += std::max(lo, hi);
+  }
+  return r;
+}
+
+bool may_alias(const AffineExpr& f, Bytes size_f,
+               std::span<const VarBound> f_bounds, const AffineExpr& g,
+               Bytes size_g, std::span<const VarBound> g_bounds) {
+  // Keep the two iteration vectors distinct.
+  const AffineExpr fr = rename_vars(f, "#w");
+  const AffineExpr gr = rename_vars(g, "#r");
+  std::vector<VarBound> bounds;
+  bounds.reserve(f_bounds.size() + g_bounds.size());
+  for (const VarBound& b : f_bounds) bounds.push_back({b.var + "#w", b.lower, b.upper});
+  for (const VarBound& b : g_bounds) bounds.push_back({b.var + "#r", b.lower, b.upper});
+
+  // Overlap of [f, f+size_f) and [g, g+size_g) means
+  //   -(size_f - 1) <= f - g <= size_g - 1
+  // (d = f - g must satisfy d > -size_f and d < size_g).
+  const AffineExpr h = fr - gr;
+
+  // Banerjee: the interval of h over the bounds must intersect the window.
+  const ValueRange range = value_range(h, bounds);
+  const std::int64_t window_lo = -(size_f - 1);
+  const std::int64_t window_hi = size_g - 1;
+  if (range.max < window_lo || range.min > window_hi) return false;
+
+  // GCD: some constant c in the window must be attainable by the variable
+  // part of h.  With variable part hv = h - h0, attainability of c requires
+  // gcd | (c - h0); check whether any c in [window_lo, window_hi] passes.
+  std::int64_t gcd = 0;
+  for (const std::string& var : h.variables()) {
+    gcd = std::gcd(gcd, std::abs(h.coefficient(var)));
+  }
+  if (gcd == 0) {
+    return h.constant() >= window_lo && h.constant() <= window_hi;
+  }
+  if (static_cast<Bytes>(gcd) <= size_f + size_g - 1) {
+    return true;  // the window is wider than the lattice spacing
+  }
+  // Is there a multiple of gcd in [window_lo - h0, window_hi - h0]?
+  const std::int64_t lo = window_lo - h.constant();
+  const std::int64_t hi = window_hi - h.constant();
+  const std::int64_t first =
+      (lo % gcd == 0) ? lo : lo + (lo > 0 ? gcd - lo % gcd : -(lo % gcd));
+  return first <= hi;
+}
+
+namespace {
+
+struct AccessSite {
+  IoCallStmt call;
+  std::vector<VarBound> bounds;  // enclosing loop bounds (constant-evaluable)
+  bool bounds_exact = true;      // false when a bound depends on outer vars
+};
+
+/// Collects every I/O statement with its rectangular bound context, binding
+/// `p` and `P` from `env`.  Bounds depending on loop variables are widened
+/// using the outer bounds already gathered (keeping the test conservative).
+void collect(const StmtList& body, const AffineEnv& env,
+             std::vector<VarBound>& stack, std::vector<AccessSite>& out) {
+  for (const Stmt& s : body) {
+    if (const auto* io = std::get_if<IoCallStmt>(&s.node)) {
+      out.push_back(AccessSite{*io, stack, true});
+    } else if (const auto* loop = std::get_if<LoopStmt>(&s.node)) {
+      // Evaluate bounds; widen expressions over enclosing loop variables to
+      // their extreme values.
+      auto widen = [&](const AffineExpr& e, bool low) {
+        AffineEnv full = env;
+        for (const VarBound& b : stack) full[b.var] = low ? b.lower : b.upper;
+        // Choose the direction per coefficient sign for a sound bound.
+        std::int64_t v = e.constant();
+        for (const std::string& var : e.variables()) {
+          const std::int64_t coeff = e.coefficient(var);
+          const auto it = full.find(var);
+          std::int64_t lo_v = 0;
+          std::int64_t hi_v = 0;
+          if (it != full.end()) {
+            lo_v = hi_v = it->second;
+          }
+          for (const VarBound& b : stack) {
+            if (b.var == var) {
+              lo_v = b.lower;
+              hi_v = b.upper;
+            }
+          }
+          const std::int64_t a = coeff * lo_v;
+          const std::int64_t b2 = coeff * hi_v;
+          v += low ? std::min(a, b2) : std::max(a, b2);
+        }
+        return v;
+      };
+      VarBound bound{loop->var, widen(loop->lower, true), widen(loop->upper, false)};
+      if (bound.lower > bound.upper) continue;  // empty loop
+      stack.push_back(bound);
+      collect(loop->body, env, stack, out);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+DependenceSummary screen_dependences(const LoopProgram& program,
+                                     int num_processes) {
+  DependenceSummary summary;
+
+  // Sample process pairs: exhaustive when small, corners otherwise.
+  std::vector<std::pair<int, int>> samples;
+  if (num_processes <= 4) {
+    for (int a = 0; a < num_processes; ++a) {
+      for (int b = 0; b < num_processes; ++b) samples.emplace_back(a, b);
+    }
+  } else {
+    const int ids[] = {0, 1, num_processes / 2, num_processes - 1};
+    for (int a : ids) {
+      for (int b : ids) samples.emplace_back(a, b);
+    }
+  }
+
+  for (const auto& [pw, pr] : samples) {
+    AffineEnv wenv{{kProcessVar, pw}, {kProcessCountVar, num_processes}};
+    AffineEnv renv{{kProcessVar, pr}, {kProcessCountVar, num_processes}};
+    std::vector<AccessSite> writes_sites;
+    std::vector<AccessSite> read_sites;
+    {
+      std::vector<VarBound> stack;
+      std::vector<AccessSite> all;
+      collect(program.body, wenv, stack, all);
+      for (auto& site : all) {
+        if (site.call.is_write) writes_sites.push_back(site);
+      }
+    }
+    {
+      std::vector<VarBound> stack;
+      std::vector<AccessSite> all;
+      collect(program.body, renv, stack, all);
+      for (auto& site : all) {
+        if (!site.call.is_write) read_sites.push_back(site);
+      }
+    }
+
+    for (const AccessSite& w : writes_sites) {
+      for (const AccessSite& r : read_sites) {
+        summary.pairs += 1;
+        if (w.call.file != r.call.file) {
+          summary.proven_independent += 1;
+          continue;
+        }
+        // Bind p/P into the subscripts, then run the tests.
+        auto bind = [](const AffineExpr& e, const AffineEnv& env) {
+          AffineExpr out(e.constant());
+          for (const std::string& var : e.variables()) {
+            const auto it = env.find(var);
+            if (it != env.end()) {
+              out += AffineExpr(e.coefficient(var) * it->second);
+            } else {
+              out += e.coefficient(var) * AffineExpr::var(var);
+            }
+          }
+          return out;
+        };
+        const AffineExpr wf = bind(w.call.offset, wenv);
+        const AffineExpr rf = bind(r.call.offset, renv);
+        const Bytes ws = w.call.size.is_constant()
+                             ? w.call.size.constant()
+                             : value_range(w.call.size, w.bounds).max;
+        const Bytes rs = r.call.size.is_constant()
+                             ? r.call.size.constant()
+                             : value_range(r.call.size, r.bounds).max;
+        if (!may_alias(wf, ws, w.bounds, rf, rs, r.bounds)) {
+          summary.proven_independent += 1;
+        }
+      }
+    }
+  }
+
+  return summary;
+}
+
+}  // namespace dasched

@@ -1,0 +1,88 @@
+// Affine dependence tests — the "Omega-lite" layer.
+//
+// The paper's compiler uses the Omega library to reason about affine
+// accesses.  This module provides the two classic conservative dependence
+// tests for the same class of subscripts:
+//
+//  * GCD test       — f(i..) = g(j..) has integer solutions only if
+//                     gcd(coefficients) divides the constant difference.
+//  * Banerjee test  — with rectangular loop bounds, a solution requires the
+//                     constant difference to fall within [min, max] of the
+//                     variable part.
+//
+// Both are *disproof* tests: `may_alias` returning false is a guarantee of
+// independence; returning true is inconclusive.  The slack analysis uses the
+// exact byte-interval dataflow as its authority (DESIGN.md), and this layer
+// serves as the statement-pair independence screen reported by the compile
+// pipeline (and as a standalone utility for building new analyses).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "compiler/affine.h"
+#include "compiler/loop_program.h"
+#include "util/units.h"
+
+namespace dasched {
+
+/// Rectangular bounds of one loop variable (inclusive).
+struct VarBound {
+  std::string var;
+  std::int64_t lower = 0;
+  std::int64_t upper = 0;
+};
+
+/// Renames every variable of `e` by appending `suffix` — used to keep the
+/// iteration vectors of two statement instances distinct.
+[[nodiscard]] AffineExpr rename_vars(const AffineExpr& e,
+                                     const std::string& suffix);
+
+/// GCD test on h(vars) = c having an integer solution: true iff
+/// gcd(coefficients of h) divides c.  An expression with no variables
+/// requires c == 0.  (h is the variable part; c the target constant.)
+[[nodiscard]] bool gcd_admits_solution(const AffineExpr& h, std::int64_t c);
+
+/// Minimum and maximum of an affine expression over rectangular bounds.
+/// Variables without bounds are treated as fixed at 0 (callers bind `p`/`P`
+/// style parameters by substitution before calling).
+struct ValueRange {
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+};
+[[nodiscard]] ValueRange value_range(const AffineExpr& e,
+                                     std::span<const VarBound> bounds);
+
+/// Conservative byte-range overlap test between two affine accesses:
+///   [f(i..), f(i..)+size_f)  vs  [g(j..), g(j..)+size_g)
+/// over independent iteration vectors with the given rectangular bounds.
+/// Returns false only when the GCD and Banerjee tests *prove* the ranges can
+/// never overlap.
+[[nodiscard]] bool may_alias(const AffineExpr& f, Bytes size_f,
+                             std::span<const VarBound> f_bounds,
+                             const AffineExpr& g, Bytes size_g,
+                             std::span<const VarBound> g_bounds);
+
+/// Statement-pair screen over a whole loop program: counts, for every
+/// (write statement, read statement) pair of the nest, whether the pair is
+/// provably independent.  `p`/`P` are bound to concrete values per process
+/// pair; a pair is independent only if it is independent for all process
+/// combinations (conservatively sampled: all pairs when few processes,
+/// corners otherwise).
+struct DependenceSummary {
+  std::int64_t pairs = 0;
+  std::int64_t proven_independent = 0;
+
+  [[nodiscard]] double pruned_fraction() const {
+    return pairs == 0 ? 0.0
+                      : static_cast<double>(proven_independent) /
+                            static_cast<double>(pairs);
+  }
+};
+
+[[nodiscard]] DependenceSummary screen_dependences(const LoopProgram& program,
+                                                   int num_processes);
+
+}  // namespace dasched

@@ -1,0 +1,93 @@
+// Affine loop-nest IR — the "source form" of a parallel I/O program.
+//
+// Workloads in the paper's target domain are series of loop nests over
+// multidimensional disk-resident arrays (Fig. 5).  The IR below captures
+// exactly that class: loops with affine bounds, I/O calls with affine byte
+// offsets, and per-iteration compute costs, all parameterized by the process
+// id `p` and the process count `P` (SPMD after parallelization).
+//
+// Loops marked `slot_loop` define the scheduling granularity: one iteration
+// of a slot loop is one scheduling slot ("iteration" in the paper).  The
+// interpreter in lower.h unrolls the nest per process into a
+// `CompiledProgram`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "compiler/affine.h"
+#include "storage/striping.h"
+#include "util/units.h"
+
+namespace dasched {
+
+struct LoopStmt;
+
+/// An I/O call: read/write of `size` bytes at `offset` within `file`, both
+/// affine in the enclosing loop variables.
+struct IoCallStmt {
+  FileId file = 0;
+  AffineExpr offset;
+  AffineExpr size;
+  bool is_write = false;
+};
+
+/// CPU work, in microseconds (affine so cost can depend on loop position).
+struct ComputeStmt {
+  AffineExpr usec;
+};
+
+struct Stmt;
+using StmtList = std::vector<Stmt>;
+
+struct LoopStmt {
+  std::string var;
+  AffineExpr lower;  // inclusive
+  AffineExpr upper;  // inclusive
+  std::int64_t step = 1;
+  /// One iteration of a slot loop = one scheduling slot.
+  bool slot_loop = false;
+  StmtList body;
+};
+
+struct Stmt {
+  std::variant<LoopStmt, IoCallStmt, ComputeStmt> node;
+};
+
+/// An SPMD program: the same statement list runs on every process with
+/// `p` = process id and `P` = process count bound in the environment.
+struct LoopProgram {
+  StmtList body;
+};
+
+// --- Builder helpers --------------------------------------------------------
+
+/// The canonical variable names bound by the interpreter.
+inline const std::string kProcessVar = "p";
+inline const std::string kProcessCountVar = "P";
+
+[[nodiscard]] inline Stmt make_loop(std::string var, AffineExpr lower,
+                                    AffineExpr upper, StmtList body,
+                                    bool slot_loop = true,
+                                    std::int64_t step = 1) {
+  return Stmt{LoopStmt{std::move(var), std::move(lower), std::move(upper), step,
+                       slot_loop, std::move(body)}};
+}
+
+[[nodiscard]] inline Stmt make_read(FileId file, AffineExpr offset,
+                                    AffineExpr size) {
+  return Stmt{IoCallStmt{file, std::move(offset), std::move(size), false}};
+}
+
+[[nodiscard]] inline Stmt make_write(FileId file, AffineExpr offset,
+                                     AffineExpr size) {
+  return Stmt{IoCallStmt{file, std::move(offset), std::move(size), true}};
+}
+
+[[nodiscard]] inline Stmt make_compute(AffineExpr usec) {
+  return Stmt{ComputeStmt{std::move(usec)}};
+}
+
+}  // namespace dasched

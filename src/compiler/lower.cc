@@ -1,0 +1,108 @@
+#include "compiler/lower.h"
+
+#include <optional>
+#include <stdexcept>
+
+namespace dasched {
+
+namespace {
+
+class Interpreter {
+ public:
+  Interpreter(const LowerOptions& opts) : opts_(opts) {}
+
+  ProcessPlan run(const LoopProgram& program, int process, int num_processes) {
+    env_.clear();
+    env_[kProcessVar] = process;
+    env_[kProcessCountVar] = num_processes;
+    plan_ = ProcessPlan{};
+    open_ = SlotPlan{};
+    exec_list(program.body);
+    close_slot(/*force=*/false);
+    return std::move(plan_);
+  }
+
+ private:
+  void exec_list(const StmtList& list) {
+    for (const Stmt& s : list) exec(s);
+  }
+
+  void exec(const Stmt& s) {
+    std::visit([this](const auto& node) { this->exec_node(node); }, s.node);
+  }
+
+  void exec_node(const IoCallStmt& io) {
+    open_.ops.push_back(IoOp{io.file, io.offset.eval(env_), io.size.eval(env_),
+                             io.is_write});
+  }
+
+  void exec_node(const ComputeStmt& c) { open_.compute += c.usec.eval(env_); }
+
+  void exec_node(const LoopStmt& loop) {
+    const std::int64_t lo = loop.lower.eval(env_);
+    const std::int64_t hi = loop.upper.eval(env_);
+    if (loop.step <= 0) throw std::runtime_error("lower: loop step must be > 0");
+    const auto saved = env_.find(loop.var) != env_.end()
+                           ? std::optional<std::int64_t>(env_[loop.var])
+                           : std::nullopt;
+    for (std::int64_t v = lo; v <= hi; v += loop.step) {
+      env_[loop.var] = v;
+      exec_list(loop.body);
+      if (loop.slot_loop) close_slot(/*force=*/false);
+    }
+    if (saved.has_value()) {
+      env_[loop.var] = *saved;
+    } else {
+      env_.erase(loop.var);
+    }
+  }
+
+  void close_slot(bool force) {
+    if (!force && open_.compute == 0 && open_.ops.empty()) return;
+    plan_.slots.push_back(std::move(open_));
+    open_ = SlotPlan{};
+    if (static_cast<std::int64_t>(plan_.slots.size()) >
+        opts_.max_slots_per_process) {
+      throw std::runtime_error("lower: iteration space exceeds max_slots_per_process");
+    }
+  }
+
+  LowerOptions opts_;
+  AffineEnv env_;
+  ProcessPlan plan_;
+  SlotPlan open_;
+};
+
+}  // namespace
+
+void coarsen(CompiledProgram& program, int granularity) {
+  if (granularity <= 1) return;
+  for (ProcessPlan& p : program.processes) {
+    std::vector<SlotPlan> merged;
+    merged.reserve(p.slots.size() / static_cast<std::size_t>(granularity) + 1);
+    for (std::size_t i = 0; i < p.slots.size(); ++i) {
+      if (i % static_cast<std::size_t>(granularity) == 0) merged.emplace_back();
+      SlotPlan& dst = merged.back();
+      SlotPlan& src = p.slots[i];
+      dst.compute += src.compute;
+      dst.ops.insert(dst.ops.end(), src.ops.begin(), src.ops.end());
+    }
+    p.slots = std::move(merged);
+  }
+  program.align_slots();
+}
+
+CompiledProgram lower(const LoopProgram& program, int num_processes,
+                      const LowerOptions& opts) {
+  CompiledProgram out;
+  out.processes.reserve(static_cast<std::size_t>(num_processes));
+  for (int p = 0; p < num_processes; ++p) {
+    Interpreter interp(opts);
+    out.processes.push_back(interp.run(program, p, num_processes));
+  }
+  out.align_slots();
+  coarsen(out, opts.granularity);
+  return out;
+}
+
+}  // namespace dasched

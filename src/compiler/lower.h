@@ -1,0 +1,35 @@
+// Lowering: affine loop-nest IR -> per-process slot plans.
+//
+// This is the replacement for the paper's Phoenix/Omega front end: because
+// every bound and subscript is affine and the iteration spaces we simulate
+// are bounded, exact enumeration produces the same per-iteration facts the
+// polyhedral tooling would.  The interpreter also applies the paper's slot
+// coarsening: when a loop is large, `granularity` (the paper's d > 1)
+// consecutive fine slots are merged into one scheduling slot.
+#pragma once
+
+#include <cstdint>
+
+#include "compiler/loop_program.h"
+#include "compiler/program.h"
+
+namespace dasched {
+
+struct LowerOptions {
+  /// The paper's d: fine slots merged per scheduling slot.
+  int granularity = 1;
+  /// Safety valve against runaway iteration spaces.
+  std::int64_t max_slots_per_process = 2'000'000;
+};
+
+/// Unrolls `program` for each of `num_processes` processes (binding p and P)
+/// and returns the aligned slot plans.  Throws std::runtime_error when a
+/// process exceeds max_slots_per_process.
+[[nodiscard]] CompiledProgram lower(const LoopProgram& program, int num_processes,
+                                    const LowerOptions& opts = {});
+
+/// Merges groups of `granularity` consecutive slots (per process); exposed
+/// separately so the profiling front end can coarsen recorded traces too.
+void coarsen(CompiledProgram& program, int granularity);
+
+}  // namespace dasched

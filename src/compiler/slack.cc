@@ -1,0 +1,155 @@
+#include "compiler/slack.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dasched {
+
+void LastWriteMap::record_write(FileId file, Bytes offset, Bytes size,
+                                Slot slot, int process) {
+  assert(size > 0);
+  auto& intervals = files_[file];
+  const Bytes begin = offset;
+  const Bytes end = offset + size;
+
+  // Trim or split every interval overlapping [begin, end).
+  auto it = intervals.lower_bound(begin);
+  if (it != intervals.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > begin) {
+      // prev straddles `begin`: keep its left part, and if it extends past
+      // `end`, re-insert its right part.
+      const Interval old = prev->second;
+      prev->second.end = begin;
+      if (old.end > end) {
+        intervals[end] = Interval{old.end, old.slot, old.process};
+      }
+    }
+  }
+  it = intervals.lower_bound(begin);
+  while (it != intervals.end() && it->first < end) {
+    if (it->second.end > end) {
+      // Straddles `end`: keep the right part.
+      Interval right = it->second;
+      intervals.erase(it);
+      intervals[end] = right;
+      break;
+    }
+    it = intervals.erase(it);
+  }
+  intervals[begin] = Interval{end, slot, process};
+}
+
+std::optional<LastWriteMap::Writer> LastWriteMap::last_write(FileId file,
+                                                             Bytes offset,
+                                                             Bytes size) const {
+  const auto fit = files_.find(file);
+  if (fit == files_.end()) return std::nullopt;
+  const auto& intervals = fit->second;
+  const Bytes begin = offset;
+  const Bytes end = offset + size;
+
+  std::optional<Writer> best;
+  auto consider = [&best](const Interval& iv) {
+    if (!best.has_value() || iv.slot > best->slot) {
+      best = Writer{iv.slot, iv.process};
+    }
+  };
+  auto it = intervals.lower_bound(begin);
+  if (it != intervals.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > begin) consider(prev->second);
+  }
+  for (; it != intervals.end() && it->first < end; ++it) consider(it->second);
+  return best;
+}
+
+namespace {
+
+struct PendingWrite {
+  IoOp op;
+  int process = 0;
+};
+
+[[nodiscard]] bool ranges_overlap(const IoOp& a, const IoOp& b) {
+  return a.file == b.file && a.offset < b.offset + b.size &&
+         b.offset < a.offset + a.size;
+}
+
+[[nodiscard]] int access_length(const IoOp& op, const SlackOptions& opts) {
+  if (opts.length_unit <= 0) return 1;
+  const Bytes units = (op.size + opts.length_unit - 1) / opts.length_unit;
+  return static_cast<int>(std::max<Bytes>(1, units));
+}
+
+}  // namespace
+
+void analyze_slacks(CompiledProgram& program, const StripingMap& striping,
+                    const SlackOptions& opts) {
+  program.reads.clear();
+  program.read_sites.clear();
+
+  LastWriteMap writes;
+  std::vector<PendingWrite> pending_writes;  // writes of the slot in progress
+
+  for (Slot t = 0; t < program.num_slots; ++t) {
+    // Gather this slot's writes first: a read racing a same-slot write (from
+    // any process; processes are not lock-stepped) must not be hoisted.
+    pending_writes.clear();
+    for (int p = 0; p < program.num_processes(); ++p) {
+      const auto& slot =
+          program.processes[static_cast<std::size_t>(p)].slots[static_cast<std::size_t>(t)];
+      for (const IoOp& op : slot.ops) {
+        if (op.is_write) pending_writes.push_back(PendingWrite{op, p});
+      }
+    }
+
+    for (int p = 0; p < program.num_processes(); ++p) {
+      const auto& ops =
+          program.processes[static_cast<std::size_t>(p)].slots[static_cast<std::size_t>(t)].ops;
+      for (int oi = 0; oi < static_cast<int>(ops.size()); ++oi) {
+        const IoOp& op = ops[static_cast<std::size_t>(oi)];
+        if (op.is_write) continue;
+
+        AccessRecord rec;
+        Slot begin = 0;
+        const auto writer = writes.last_write(op.file, op.offset, op.size);
+        if (writer.has_value()) {
+          begin = writer->slot + 1;
+          rec.writer_process = writer->process;
+          rec.writer_slot = writer->slot;
+        }
+        for (const PendingWrite& w : pending_writes) {
+          if (ranges_overlap(op, w.op)) {
+            begin = t;  // produced in this very slot: no flexibility
+            rec.writer_process = w.process;
+            rec.writer_slot = t;
+            break;
+          }
+        }
+        if (begin > t) begin = t;  // negative slack -> length-1 window
+        if (opts.max_slack > 0 && t - begin + 1 > opts.max_slack) {
+          begin = t - opts.max_slack + 1;
+        }
+
+        rec.id = static_cast<int>(program.reads.size());
+        rec.process = p;
+        rec.begin = begin;
+        rec.end = t;
+        rec.original = t;
+        rec.sig = striping.signature(op.file, op.offset, op.size);
+        rec.length =
+            std::min<int>(access_length(op, opts),
+                          static_cast<int>(rec.end - rec.begin + 1));
+        program.reads.push_back(std::move(rec));
+        program.read_sites.push_back(ReadSite{p, t, oi});
+      }
+    }
+
+    for (const PendingWrite& w : pending_writes) {
+      writes.record_write(w.op.file, w.op.offset, w.op.size, t, w.process);
+    }
+  }
+}
+
+}  // namespace dasched

@@ -1,0 +1,68 @@
+// Access slack determination (Sec. IV-A).
+//
+// For every read I/O call the compiler finds the *last preceding write* to
+// any byte it touches — across all processes — and opens the slack window
+// [iw + 1, ir].  Reads of never-written (input) data get the maximal window
+// starting at slot 0.  Writes in the *same* slot as the read (including
+// unsynchronized cross-process races after iteration-space normalization)
+// clamp the window to the single slot [ir, ir], the paper's "negative slack
+// becomes a slack of length 1".
+//
+// The analysis also assigns each access its length in slots (extended
+// algorithm, Sec. IV-B2), estimated from the requested byte count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "compiler/program.h"
+#include "storage/striping.h"
+#include "util/units.h"
+
+namespace dasched {
+
+struct SlackOptions {
+  /// Bytes of requested data per slot of access length (the extended
+  /// algorithm's "length"); an access of <= length_unit bytes has length 1.
+  Bytes length_unit = mib(1);
+  /// Upper bound on slack window size, mirroring the bounded lookahead a
+  /// real runtime buffer affords.  0 = unbounded.
+  Slot max_slack = 0;
+};
+
+/// Tracks, per file, which byte ranges were last written at which slot.
+/// This is the data-flow core of the slack analysis.
+class LastWriteMap {
+ public:
+  struct Writer {
+    Slot slot = 0;
+    int process = 0;
+  };
+
+  void record_write(FileId file, Bytes offset, Bytes size, Slot slot,
+                    int process);
+
+  /// Latest write overlapping [offset, offset+size), if any part of the
+  /// range has been written.
+  [[nodiscard]] std::optional<Writer> last_write(FileId file, Bytes offset,
+                                                 Bytes size) const;
+
+ private:
+  struct Interval {
+    Bytes end = 0;  // exclusive
+    Slot slot = 0;
+    int process = 0;
+  };
+  // Per file: disjoint intervals keyed by start offset.
+  std::map<FileId, std::map<Bytes, Interval>> files_;
+};
+
+/// Populates `program.reads` / `program.read_sites` with one AccessRecord
+/// per read op, slack windows computed as above, signatures taken from
+/// `striping`.
+void analyze_slacks(CompiledProgram& program, const StripingMap& striping,
+                    const SlackOptions& opts = {});
+
+}  // namespace dasched

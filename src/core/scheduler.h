@@ -1,0 +1,130 @@
+// The data access scheduling algorithms of Sec. IV-B.
+//
+// `AccessScheduler` implements the paper's extended algorithm (Sec. IV-B2),
+// of which the basic algorithm (Sec. IV-B1) is the length-1 special case,
+// plus the θ performance constraint of Sec. IV-B3:
+//
+//   1. Sort accesses in nondecreasing order of slack length (most
+//      constrained first).
+//   2. For each access, walk every start slot inside its slack; skip slots
+//      where the same process already has a scheduled access ("unavailable").
+//   3. Compute the reuse factor R_t = Σ_k σ(k) / d(t+k) over the vertical
+//      reuse range [t-δ, t+l-1+δ], where d is the signature distance to the
+//      group active signature of slot t+k (unit decomposition of already
+//      scheduled accesses) and σ decays linearly away from the occupied
+//      window (σ_j = 1 - j/(δ+1)); 1/d is taken as 2 when d = 0.
+//   4. Pick the slot with the highest reuse factor (first best wins, as in
+//      the pseudo-code of Fig. 11; an optional randomized tie-break matches
+//      the prose).  With θ > 0, slots are examined in non-increasing reuse
+//      order and the first one where every occupied slot keeps at most θ
+//      accesses per I/O node wins; if none qualifies, the slot minimizing
+//      the average excess E_t is selected.
+//   5. OR the access's signature into the group active signature of every
+//      slot it occupies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/access.h"
+#include "core/signature.h"
+#include "util/rng.h"
+
+namespace dasched {
+
+struct ScheduleOptions {
+  /// Vertical reuse range δ (slots), Table II default 20.
+  int delta = 20;
+  /// Per-I/O-node, per-slot access cap θ; 0 disables the constraint.
+  /// Table II default 4.
+  int theta = 4;
+  /// Resolve reuse-factor ties randomly (paper prose) instead of keeping the
+  /// first maximum (paper pseudo-code).
+  bool random_tie_break = false;
+  /// Upper bound on candidate start slots examined per access.  Slacks wider
+  /// than this are sampled at an even stride (the original point is always
+  /// examined) — the scheduling-cost analogue of the paper's d-coarsening.
+  /// 0 examines every slot.
+  int max_candidates = 128;
+  std::uint64_t seed = 42;
+};
+
+/// Aggregate statistics of one scheduling run.
+struct ScheduleStats {
+  std::int64_t scheduled = 0;
+  /// Accesses pinned to their original point because their whole slack was
+  /// occupied by same-process accesses.
+  std::int64_t forced = 0;
+  /// Accesses placed at a slot violating θ via the E_t fallback.
+  std::int64_t theta_fallbacks = 0;
+  /// Mean displacement (original - chosen slot) over all accesses.
+  double mean_advance_slots = 0.0;
+};
+
+class AccessScheduler {
+ public:
+  /// `num_io_nodes` sizes the signatures; `num_slots` bounds slot indices.
+  AccessScheduler(int num_io_nodes, Slot num_slots, ScheduleOptions opts = {});
+
+  /// Schedules all accesses; the result vector is ordered by access id.
+  std::vector<ScheduledAccess> schedule(std::vector<AccessRecord> accesses);
+
+  // --- Introspection (also used by unit tests and incremental callers) -----
+
+  /// Reuse factor of starting `rec` at `slot`, given the current timeline.
+  [[nodiscard]] double reuse_factor(const AccessRecord& rec, Slot slot) const;
+
+  /// Same, with explicit outside-window weights: sigma[j] is the weight of a
+  /// slot j positions outside the occupied window (sigma[0] applies inside).
+  /// Lets tests reproduce the paper's rounded worked examples verbatim.
+  [[nodiscard]] double reuse_factor_with_weights(
+      const AccessRecord& rec, Slot slot, std::span<const double> sigma) const;
+
+  /// Commits `rec` to start at `slot` (updates group signatures, θ counts
+  /// and process occupancy).
+  void place(const AccessRecord& rec, Slot slot);
+
+  /// True when no same-process access occupies any of [slot, slot+len-1].
+  [[nodiscard]] bool available(int process, Slot slot, int length) const;
+
+  /// True when placing `rec` at `slot` keeps every I/O node at or below θ
+  /// in every occupied slot.  Always true when θ == 0.
+  [[nodiscard]] bool theta_ok(const AccessRecord& rec, Slot slot) const;
+
+  /// Average number of accesses beyond θ per over-subscribed node across the
+  /// slots `rec` would occupy starting at `slot` (the paper's E_t), with the
+  /// candidate access hypothetically placed.
+  [[nodiscard]] double average_excess(const AccessRecord& rec, Slot slot) const;
+
+  /// Group active signature of one slot.
+  [[nodiscard]] const Signature& group_signature(Slot slot) const;
+
+  /// Linear decay weight σ_j = 1 - j/(δ+1) (j = 0 inside the window).
+  [[nodiscard]] static double weight(int outside_distance, int delta);
+
+  [[nodiscard]] const ScheduleStats& stats() const { return stats_; }
+  [[nodiscard]] int num_io_nodes() const { return num_nodes_; }
+  [[nodiscard]] Slot num_slots() const { return num_slots_; }
+  [[nodiscard]] const ScheduleOptions& options() const { return opts_; }
+
+ private:
+  [[nodiscard]] double reciprocal_distance(const AccessRecord& rec, Slot s) const;
+  void ensure_process(int process);
+
+  int num_nodes_;
+  Slot num_slots_;
+  ScheduleOptions opts_;
+  Rng rng_;
+
+  /// Per-slot OR of the unit signatures of already-scheduled accesses.
+  std::vector<Signature> group_;
+  /// Per-slot, per-node scheduled-access counts (only kept when θ > 0).
+  std::vector<std::uint16_t> node_counts_;  // [slot * num_nodes_ + node]
+  /// Per-process slot occupancy.
+  std::vector<std::vector<char>> occupied_;
+
+  ScheduleStats stats_;
+};
+
+}  // namespace dasched

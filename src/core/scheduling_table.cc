@@ -1,0 +1,50 @@
+#include "core/scheduling_table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dasched {
+
+const std::vector<TableEntry> SchedulingTable::kEmpty;
+
+SchedulingTable::SchedulingTable(const std::vector<ScheduledAccess>& scheduled) {
+  int max_process = -1;
+  for (const auto& s : scheduled) max_process = std::max(max_process, s.rec.process);
+  per_process_.resize(static_cast<std::size_t>(max_process + 1));
+  for (const auto& s : scheduled) {
+    per_process_[static_cast<std::size_t>(s.rec.process)].push_back(
+        TableEntry{s.slot, s.rec, s.forced});
+    ++total_;
+  }
+  for (auto& entries : per_process_) {
+    std::sort(entries.begin(), entries.end(),
+              [](const TableEntry& a, const TableEntry& b) {
+                if (a.slot != b.slot) return a.slot < b.slot;
+                return a.rec.id < b.rec.id;
+              });
+  }
+}
+
+const std::vector<TableEntry>& SchedulingTable::entries(int process) const {
+  if (process < 0 || static_cast<std::size_t>(process) >= per_process_.size()) {
+    return kEmpty;
+  }
+  return per_process_[static_cast<std::size_t>(process)];
+}
+
+std::string SchedulingTable::to_string() const {
+  std::ostringstream os;
+  for (std::size_t p = 0; p < per_process_.size(); ++p) {
+    os << "process " << p << ":\n";
+    for (const auto& e : per_process_[p]) {
+      os << "  slot " << e.slot << "  access#" << e.rec.id << "  sig "
+         << e.rec.sig.to_string() << "  slack [" << e.rec.begin << ", "
+         << e.rec.end << "]"
+         << "  original " << e.rec.original << (e.forced ? "  (forced)" : "")
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace dasched

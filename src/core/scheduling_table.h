@@ -1,0 +1,53 @@
+// Scheduling tables — the artifact the compiler hands to the runtime.
+//
+// After the scheduling algorithms pick a point for every access, the results
+// are organized per process: for each client process, an ordered list of
+// (slot, access) entries the runtime scheduler thread walks as its process
+// advances through its iterations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/access.h"
+
+namespace dasched {
+
+struct TableEntry {
+  /// Slot at which the runtime should issue this access.
+  Slot slot = 0;
+  /// The scheduled access (original point, signature, etc.).
+  AccessRecord rec;
+  /// True when the entry was force-pinned to its original point.
+  bool forced = false;
+};
+
+class SchedulingTable {
+ public:
+  SchedulingTable() = default;
+
+  /// Builds a table from scheduler output.
+  explicit SchedulingTable(const std::vector<ScheduledAccess>& scheduled);
+
+  /// Entries of one process, ordered by (slot, access id).  Empty for
+  /// processes with no scheduled accesses.
+  [[nodiscard]] const std::vector<TableEntry>& entries(int process) const;
+
+  [[nodiscard]] int num_processes() const {
+    return static_cast<int>(per_process_.size());
+  }
+
+  [[nodiscard]] std::int64_t total_entries() const { return total_; }
+
+  /// Human-readable dump (used by the quickstart example).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::vector<TableEntry>> per_process_;
+  std::int64_t total_ = 0;
+  static const std::vector<TableEntry> kEmpty;
+};
+
+}  // namespace dasched

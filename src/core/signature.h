@@ -1,0 +1,81 @@
+// I/O-node signatures and the distance metric (Sec. IV-B).
+//
+// Each data access carries a signature: one bit per I/O node, set when the
+// access touches that node.  For two signatures over n nodes the paper
+// defines
+//
+//   distance(g1, g2) = n - similarity(g1, g2) + difference(g1, g2)
+//
+// where `similarity` counts positions where both are 1 (active nodes that
+// would be reused) and `difference` counts positions where they differ
+// (additional nodes that would have to be turned on).  Smaller distance =
+// better I/O-node reuse.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dasched {
+
+class Signature {
+ public:
+  Signature() = default;
+
+  /// An all-zero signature over `num_nodes` I/O nodes.
+  explicit Signature(int num_nodes);
+
+  /// Parses "0110"-style bit strings (index 0 first, as in the paper's
+  /// tables); characters other than '0'/'1' are rejected.
+  [[nodiscard]] static Signature from_bits(std::string_view bits);
+
+  /// A signature over `num_nodes` nodes with the given node indices set.
+  [[nodiscard]] static Signature from_nodes(int num_nodes,
+                                            std::initializer_list<int> nodes);
+
+  void set(int node);
+  void reset(int node);
+  [[nodiscard]] bool test(int node) const;
+
+  /// Number of I/O nodes this signature ranges over (n).
+  [[nodiscard]] int size() const { return n_; }
+
+  /// Number of set bits.
+  [[nodiscard]] int popcount() const;
+
+  [[nodiscard]] bool any() const { return popcount() > 0; }
+
+  Signature& operator|=(const Signature& other);
+  [[nodiscard]] friend Signature operator|(Signature a, const Signature& b) {
+    a |= b;
+    return a;
+  }
+
+  bool operator==(const Signature&) const = default;
+
+  /// Indices of the set bits, ascending.
+  [[nodiscard]] std::vector<int> nodes() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  friend int similarity(const Signature&, const Signature&);
+  friend int difference(const Signature&, const Signature&);
+
+  int n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Count of positions where both signatures have a 1.
+[[nodiscard]] int similarity(const Signature& a, const Signature& b);
+
+/// Count of positions where the signatures differ.
+[[nodiscard]] int difference(const Signature& a, const Signature& b);
+
+/// The paper's distance: n - similarity + difference.  Both signatures must
+/// range over the same number of nodes.
+[[nodiscard]] int distance(const Signature& a, const Signature& b);
+
+}  // namespace dasched

@@ -1,0 +1,195 @@
+// Event-driven model of a (possibly multi-speed) server disk.
+//
+// The disk owns a SCAN/elevator request queue (Table II: "Disk-Arm
+// Scheduling: Elevator"), a mechanical service model (seek + rotational
+// latency + media transfer, the latter two scaled by the current rotation
+// speed), and a state machine covering service, idleness, full spin-down /
+// spin-up, and DRPM-style speed transitions.  Energy is integrated
+// continuously from the piecewise-constant per-state power of `PowerModel`.
+//
+// A `PowerPolicy` (see power/) may be attached; it receives idle-begin and
+// request-arrival callbacks and steers the disk through `request_spin_down`,
+// `request_spin_up` and `request_rpm`.  Without a policy the disk never
+// leaves its maximum speed — the paper's "Default Scheme".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "disk/disk_params.h"
+#include "disk/power_model.h"
+#include "sim/simulator.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace dasched {
+
+class Disk;
+
+/// Hardware power-management hook.  Concrete policies live in src/power.
+class PowerPolicy {
+ public:
+  virtual ~PowerPolicy() = default;
+
+  /// Called once when the policy is installed on a disk.
+  virtual void attach(Disk& disk) { disk_ = &disk; }
+
+  /// The disk finished its last queued request and is now idle (spinning).
+  virtual void on_idle_begin() {}
+
+  /// A request arrived; fired before the disk decides how to progress, so
+  /// the policy can request a speed change or spin-up first.
+  virtual void on_request_arrival() {}
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  Disk* disk_ = nullptr;
+};
+
+struct DiskRequest {
+  Bytes offset = 0;
+  Bytes size = 0;
+  bool is_write = false;
+  /// Background transfers (cache/readahead prefetch) yield to demand
+  /// requests: the arm serves the demand queue first.
+  bool background = false;
+  /// Invoked at the simulated completion instant.
+  std::function<void()> on_complete;
+};
+
+enum class DiskState : int {
+  kIdle = 0,        // spinning (at current_rpm), queue empty or about to serve
+  kSeeking,
+  kTransferring,    // rotational latency + media transfer
+  kSpinningDown,
+  kStandby,
+  kSpinningUp,
+  kChangingSpeed,   // DRPM transition between ladder speeds
+};
+
+inline constexpr int kNumDiskStates = 7;
+
+[[nodiscard]] const char* to_string(DiskState s);
+
+struct DiskStats {
+  double energy_j = 0.0;
+  std::array<double, kNumDiskStates> energy_by_state_j{};
+
+  std::int64_t requests = 0;
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+  Bytes bytes_read = 0;
+  Bytes bytes_written = 0;
+
+  std::int64_t spin_downs = 0;
+  std::int64_t spin_ups = 0;
+  std::int64_t rpm_changes = 0;
+
+  /// Wall-clock (simulated) time the disk spent servicing requests.
+  SimTime busy_time = 0;
+  /// Time spinning below the maximum speed (idle or serving).
+  SimTime time_below_max_rpm = 0;
+  /// Time in standby (fully spun down).
+  SimTime time_in_standby = 0;
+
+  /// Request-stream idle gaps (end of busy period -> next arrival).  This is
+  /// the quantity plotted in Fig. 12 and is policy-independent.
+  DurationHistogram idle_periods;
+};
+
+class Disk {
+ public:
+  Disk(Simulator& sim, DiskParams params, std::uint64_t seed = 1);
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  /// Installs a power policy (may be null to clear).  The disk does not own
+  /// the policy.
+  void set_policy(PowerPolicy* policy);
+
+  /// Enqueues a request.  `req.on_complete` fires when the data transfer
+  /// finishes, however long power-mode recovery takes.
+  void submit(DiskRequest req);
+
+  // --- Policy-facing control ------------------------------------------------
+  /// Begins a spin-down if the disk is idle; no-op otherwise.
+  void request_spin_down();
+  /// Begins a spin-up from standby (or queues one behind an in-flight
+  /// spin-down); no-op if already spinning.
+  void request_spin_up();
+  /// Sets the desired rotation speed.  Takes effect as soon as the disk is
+  /// idle; requests arriving mid-transition wait for it to finish.
+  void request_rpm(Rpm rpm);
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] const DiskParams& params() const { return params_; }
+  [[nodiscard]] const PowerModel& power_model() const { return power_; }
+  [[nodiscard]] DiskState state() const { return state_; }
+  [[nodiscard]] Rpm current_rpm() const { return rpm_; }
+  [[nodiscard]] Rpm desired_rpm() const { return desired_rpm_; }
+  [[nodiscard]] bool queue_empty() const {
+    return queue_.empty() && background_queue_.empty();
+  }
+  [[nodiscard]] std::size_t queue_depth() const {
+    return queue_.size() + background_queue_.size();
+  }
+
+  /// Accrues energy up to the current instant and returns the statistics.
+  /// Call once at end of simulation (idempotent at a fixed time).
+  const DiskStats& finalize();
+
+  [[nodiscard]] const DiskStats& stats() const { return stats_; }
+
+  /// Estimated service time for a request of `size` bytes at speed `rpm`,
+  /// excluding queueing (expected rotational latency = half a revolution).
+  [[nodiscard]] SimTime expected_service_time(Bytes size, Rpm rpm) const;
+
+ private:
+  void accrue();
+  [[nodiscard]] double current_power_w() const;
+  void enter_state(DiskState s);
+  void try_progress();
+  void start_service();
+  void begin_spin_up(SimTime duration);
+  void abort_spin_down();
+  void begin_rpm_transition();
+  void end_stream_idle_if_needed();
+
+  Simulator& sim_;
+  DiskParams params_;
+  PowerModel power_;
+  Rng rng_;
+  PowerPolicy* policy_ = nullptr;
+
+  DiskState state_ = DiskState::kIdle;
+  Rpm rpm_;
+  Rpm desired_rpm_;
+  Rpm transition_from_ = 0;
+  Rpm transition_to_ = 0;
+  bool spin_up_pending_ = false;  // spin-up queued behind an active spin-down
+  SimTime spin_down_started_ = 0;
+  EventHandle spin_down_event_;
+
+  // Elevator queues (demand first, background second): requests keyed by
+  // disk offset, plus a sweep direction.
+  std::multimap<Bytes, DiskRequest> queue_;
+  std::multimap<Bytes, DiskRequest> background_queue_;
+  bool sweep_up_ = true;
+  Bytes head_pos_ = 0;
+
+  bool stream_idle_ = true;
+  SimTime stream_idle_since_ = 0;
+
+  SimTime last_accrue_ = 0;
+  DiskStats stats_;
+};
+
+}  // namespace dasched

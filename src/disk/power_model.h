@@ -1,0 +1,45 @@
+// Per-state disk power as a function of rotation speed.
+//
+// Eq. 1 of the paper gives motor power proportional to the square of the
+// angular velocity.  Each Table II figure is split into an electronics floor
+// (speed-independent) plus a motor share that scales with (omega/omega_max)^2.
+#pragma once
+
+#include "disk/disk_params.h"
+
+namespace dasched {
+
+class PowerModel {
+ public:
+  explicit PowerModel(const DiskParams& params) : p_(params) {}
+
+  [[nodiscard]] double idle_w(Rpm rpm) const {
+    return scaled(p_.idle_power_w, p_.idle_floor_w, rpm);
+  }
+  [[nodiscard]] double active_w(Rpm rpm) const {
+    return scaled(p_.active_power_w, p_.active_floor_w, rpm);
+  }
+  [[nodiscard]] double seek_w(Rpm rpm) const {
+    return scaled(p_.seek_power_w, p_.seek_floor_w, rpm);
+  }
+  [[nodiscard]] double standby_w() const { return p_.standby_power_w; }
+  [[nodiscard]] double spin_up_w() const { return p_.spin_up_power_w; }
+  [[nodiscard]] double spin_down_w() const { return p_.spin_down_power_w; }
+
+  /// Power drawn while changing speed between two ladder points.
+  [[nodiscard]] double rpm_transition_w(Rpm from, Rpm to) const {
+    const double hi = idle_w(from > to ? from : to);
+    return p_.rpm_transition_power_factor * hi;
+  }
+
+ private:
+  [[nodiscard]] double scaled(double total_at_max, double floor, Rpm rpm) const {
+    const double motor = total_at_max - floor;
+    const double ratio = static_cast<double>(rpm) / static_cast<double>(p_.max_rpm);
+    return floor + motor * ratio * ratio;
+  }
+
+  DiskParams p_;
+};
+
+}  // namespace dasched

@@ -1,0 +1,51 @@
+#include "driver/experiment.h"
+
+#include <stdexcept>
+
+namespace dasched {
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  Simulator sim;
+
+  StorageConfig storage_cfg = cfg.storage;
+  storage_cfg.node.policy = cfg.policy;
+  storage_cfg.node.policy_cfg = cfg.policy_cfg;
+  storage_cfg.seed = cfg.seed;
+  StorageSystem storage(sim, storage_cfg);
+
+  const App& app = app_by_name(cfg.app);
+  CompiledProgram trace = app.build(storage.striping(), cfg.scale);
+
+  CompileOptions copts = cfg.compile;
+  copts.enable_scheduling = cfg.use_scheme;
+  copts.slack.length_unit = app.length_unit;
+  copts.slack.max_slack = cfg.max_slack;
+  Compiled compiled = compile_trace(std::move(trace), storage.striping(), copts);
+
+  RuntimeConfig rt = cfg.runtime;
+  rt.use_runtime_scheduler = cfg.use_scheme;
+  Cluster cluster(sim, storage, compiled, rt);
+  // Run until the application completes; power-policy timers may keep the
+  // event queue alive past that point, and accounting must stop at the
+  // application's end (the paper's energies cover program execution).
+  cluster.run_to_completion();
+
+  if (!cluster.all_finished()) {
+    throw std::runtime_error("experiment '" + cfg.app +
+                             "': simulation drained but clients are stuck");
+  }
+
+  ExperimentResult out;
+  out.app = cfg.app;
+  out.policy = cfg.policy;
+  out.scheme = cfg.use_scheme;
+  out.exec_time = cluster.exec_time();
+  out.storage = storage.finalize();
+  out.energy_j = out.storage.energy_j;
+  out.runtime = cluster.stats();
+  out.sched = compiled.sched_stats;
+  out.events = sim.events_executed();
+  return out;
+}
+
+}  // namespace dasched

@@ -1,0 +1,76 @@
+// End-to-end experiment runner.
+//
+// One experiment = one application × one power policy × scheme on/off,
+// executed on a freshly built simulator + storage system.  Every bench
+// binary (and the integration tests) goes through `run_experiment`, so the
+// paper's pipeline — workload, compile, simulate, measure — lives in exactly
+// one place.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "compiler/compile.h"
+#include "io/cluster.h"
+#include "power/policies.h"
+#include "storage/storage_system.h"
+#include "util/histogram.h"
+#include "workload/app.h"
+
+namespace dasched {
+
+struct ExperimentConfig {
+  std::string app = "hf";
+  WorkloadScale scale;
+  StorageConfig storage;
+  CompileOptions compile;
+  RuntimeConfig runtime;
+  /// Policy installed on every disk (kNone = the paper's Default Scheme).
+  PolicyKind policy = PolicyKind::kNone;
+  PolicyConfig policy_cfg;
+  /// Enables the paper's contribution: compile-time scheduling + runtime
+  /// prefetching.  False reproduces the "without our approach" runs.
+  bool use_scheme = false;
+  std::uint64_t seed = 1;
+
+  /// Slack bound: how far (in slots) the compiler may hoist an access.
+  /// 0 = the full producer-to-consumer window (paper semantics); the runtime
+  /// buffer capacity is then the only limit on hoisting.
+  Slot max_slack = 600;
+};
+
+struct ExperimentResult {
+  std::string app;
+  PolicyKind policy = PolicyKind::kNone;
+  bool scheme = false;
+
+  SimTime exec_time = 0;
+  double energy_j = 0.0;
+  StorageStats storage;
+  RuntimeStats runtime;
+  ScheduleStats sched;
+  std::int64_t events = 0;
+
+  [[nodiscard]] double exec_minutes() const { return to_minutes(exec_time); }
+};
+
+/// Runs a single experiment to completion.  Throws std::runtime_error if the
+/// simulation deadlocks (a client never finishes).
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// Energy of `r` normalized to `baseline` (the paper's Fig. 12c/d y-axis).
+[[nodiscard]] inline double normalized_energy(const ExperimentResult& r,
+                                              const ExperimentResult& baseline) {
+  return baseline.energy_j == 0.0 ? 0.0 : r.energy_j / baseline.energy_j;
+}
+
+/// Execution-time degradation of `r` relative to `baseline` (Fig. 13a/b).
+[[nodiscard]] inline double degradation(const ExperimentResult& r,
+                                        const ExperimentResult& baseline) {
+  return baseline.exec_time == 0
+             ? 0.0
+             : static_cast<double>(r.exec_time - baseline.exec_time) /
+                   static_cast<double>(baseline.exec_time);
+}
+
+}  // namespace dasched

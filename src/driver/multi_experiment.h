@@ -1,0 +1,50 @@
+// Multi-application scenarios — the paper's stated future work ("we plan to
+// investigate the opportunities of increasing disk idle periods in
+// multi-application scenarios").
+//
+// Several applications run concurrently against one storage system, each
+// with its own client processes, compiled program and runtime scheduler.
+// The interesting phenomenon this exposes: each application's scheduling
+// table is computed in isolation, so the per-application node-clustering
+// decisions interfere at the shared disks — quantified by comparing the
+// combined run against the applications run back-to-back.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "driver/experiment.h"
+
+namespace dasched {
+
+struct MultiExperimentConfig {
+  /// Applications to co-schedule; each gets scale.num_processes clients.
+  std::vector<std::string> apps;
+  WorkloadScale scale;
+  StorageConfig storage;
+  CompileOptions compile;
+  RuntimeConfig runtime;
+  PolicyKind policy = PolicyKind::kNone;
+  PolicyConfig policy_cfg;
+  bool use_scheme = false;
+  Slot max_slack = 600;
+  std::uint64_t seed = 1;
+};
+
+struct MultiExperimentResult {
+  /// Completion time of each application, in config order.
+  std::vector<SimTime> exec_times;
+  /// Completion of the slowest application.
+  SimTime makespan = 0;
+  double energy_j = 0.0;
+  StorageStats storage;
+  /// Per-application runtime statistics.
+  std::vector<RuntimeStats> runtime;
+};
+
+/// Runs all applications concurrently on one storage system; accounting
+/// stops when the last application completes.
+[[nodiscard]] MultiExperimentResult run_multi_experiment(
+    const MultiExperimentConfig& cfg);
+
+}  // namespace dasched

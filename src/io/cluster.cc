@@ -1,0 +1,291 @@
+#include "io/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dasched {
+
+namespace {
+constexpr int kMaxOpsPerSlot = 4'096;
+
+std::uint64_t site_key(int process, Slot slot, int op_index) {
+  return (static_cast<std::uint64_t>(process) << 48) ^
+         (static_cast<std::uint64_t>(slot) * kMaxOpsPerSlot) ^
+         static_cast<std::uint64_t>(op_index);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ClientProcess
+// ---------------------------------------------------------------------------
+
+ClientProcess::ClientProcess(Cluster& cluster, int pid)
+    : cluster_(cluster), pid_(pid) {}
+
+void ClientProcess::start() { begin_slot(); }
+
+void ClientProcess::subscribe_progress(Slot needed, std::function<void()> cb) {
+  if (completed_ >= needed || finished_) {
+    cb();
+    return;
+  }
+  waiters_.emplace_back(needed, std::move(cb));
+}
+
+void ClientProcess::begin_slot() {
+  const auto& slots =
+      cluster_.compiled().program.processes[static_cast<std::size_t>(pid_)].slots;
+
+  // Fast-forward through empty padding slots iteratively (no recursion).
+  while (current_ < static_cast<Slot>(slots.size())) {
+    const SlotPlan& plan = slots[static_cast<std::size_t>(current_)];
+    if (!plan.ops.empty() || plan.compute > 0) break;
+    finish_slot();
+  }
+  if (current_ >= static_cast<Slot>(slots.size())) {
+    finished_ = true;
+    finish_time_ = cluster_.sim().now();
+    // Release anyone still waiting on this process's progress.
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto& [needed, cb] : waiters) cb();
+    return;
+  }
+
+  const SlotPlan& plan = slots[static_cast<std::size_t>(current_)];
+  if (!plan.ops.empty()) {
+    run_op(0);
+  } else {
+    after_ops();
+  }
+}
+
+void ClientProcess::run_op(std::size_t op_index) {
+  const SlotPlan& plan =
+      cluster_.compiled()
+          .program.processes[static_cast<std::size_t>(pid_)]
+          .slots[static_cast<std::size_t>(current_)];
+  const IoOp& op = plan.ops[op_index];
+  RuntimeStats& stats = cluster_.mutable_stats();
+
+  if (op.is_write) {
+    stats.writes += 1;
+    cluster_.storage().write(op.file, op.offset, op.size,
+                             [this, op_index] { op_done(op_index); });
+    return;
+  }
+
+  if (cluster_.config().use_runtime_scheduler) {
+    const int id = cluster_.access_id_at(pid_, current_, static_cast<int>(op_index));
+    assert(id >= 0);
+    GlobalBuffer& buffer = cluster_.buffer();
+    switch (buffer.state(id)) {
+      case BufferEntryState::kReady: {
+        buffer.consume(id);
+        stats.buffer_hits += 1;
+        cluster_.sim().schedule_after(cluster_.config().buffer_hit_latency,
+                                      [this, op_index] { op_done(op_index); });
+        return;
+      }
+      case BufferEntryState::kInFlight: {
+        stats.in_flight_hits += 1;
+        buffer.wait_ready(id, [this, id, op_index] {
+          cluster_.buffer().consume(id);
+          cluster_.sim().schedule_after(cluster_.config().buffer_hit_latency,
+                                        [this, op_index] { op_done(op_index); });
+        });
+        return;
+      }
+      case BufferEntryState::kAbsent:
+      case BufferEntryState::kDone:
+        buffer.mark_done(id);  // the scheduler must not fetch it anymore
+        break;
+    }
+  }
+
+  stats.direct_reads += 1;
+  cluster_.storage().read(op.file, op.offset, op.size,
+                          [this, op_index] { op_done(op_index); });
+}
+
+void ClientProcess::op_done(std::size_t op_index) {
+  const SlotPlan& plan =
+      cluster_.compiled()
+          .program.processes[static_cast<std::size_t>(pid_)]
+          .slots[static_cast<std::size_t>(current_)];
+  if (op_index + 1 < plan.ops.size()) {
+    run_op(op_index + 1);
+  } else {
+    after_ops();
+  }
+}
+
+void ClientProcess::after_ops() {
+  const SlotPlan& plan =
+      cluster_.compiled()
+          .program.processes[static_cast<std::size_t>(pid_)]
+          .slots[static_cast<std::size_t>(current_)];
+  if (plan.compute > 0) {
+    cluster_.sim().schedule_after(plan.compute, [this] {
+      finish_slot();
+      begin_slot();
+    });
+  } else {
+    finish_slot();
+    begin_slot();
+  }
+}
+
+void ClientProcess::finish_slot() {
+  completed_ = ++current_;
+  // Fire matured progress subscriptions.
+  std::vector<std::function<void()>> ready;
+  std::erase_if(waiters_, [this, &ready](auto& w) {
+    if (w.first <= completed_) {
+      ready.push_back(std::move(w.second));
+      return true;
+    }
+    return false;
+  });
+  for (auto& cb : ready) cb();
+}
+
+// ---------------------------------------------------------------------------
+// SchedulerThread
+// ---------------------------------------------------------------------------
+
+SchedulerThread::SchedulerThread(Cluster& cluster, int pid)
+    : cluster_(cluster), pid_(pid) {}
+
+void SchedulerThread::kick() {
+  if (fetches_in_flight_ >= cluster_.config().scheduler_fetch_depth) return;
+  const auto& entries = cluster_.compiled().table.entries(pid_);
+  ClientProcess& owner = cluster_.client(pid_);
+  GlobalBuffer& buffer = cluster_.buffer();
+  RuntimeStats& stats = cluster_.mutable_stats();
+
+  while (cursor_ < entries.size()) {
+    const TableEntry& e = entries[cursor_];
+    const int id = e.rec.id;
+
+    if (buffer.is_done(id) || buffer.state(id) != BufferEntryState::kAbsent) {
+      ++cursor_;
+      continue;
+    }
+    // Only fetch accesses hoisted far enough ahead of their original point.
+    if (e.rec.original - e.slot <= cluster_.config().min_lead) {
+      stats.skipped_min_lead += 1;
+      ++cursor_;
+      continue;
+    }
+    // Wait until this process reaches the scheduled slot.
+    if (e.slot > owner.local_time() && !owner.finished()) {
+      owner.subscribe_progress(e.slot, [this] { kick(); });
+      return;
+    }
+    // If the application has already passed the original point there is no
+    // one left to serve; skip.
+    if (owner.local_time() > e.rec.original) {
+      buffer.mark_done(id);
+      ++cursor_;
+      continue;
+    }
+    // Local-time protocol: never run ahead of the producing process.
+    if (e.rec.writer_process >= 0 && e.rec.writer_process != pid_) {
+      ClientProcess& writer = cluster_.client(e.rec.writer_process);
+      if (writer.local_time() <= e.rec.writer_slot && !writer.finished()) {
+        writer.subscribe_progress(e.rec.writer_slot + 1, [this] { kick(); });
+        return;
+      }
+    }
+    const IoOp& op = cluster_.op_for(id);
+    if (!buffer.try_reserve(id, op.size)) {
+      buffer.wait_space([this] { kick(); });
+      return;
+    }
+    stats.prefetches += 1;
+    fetches_in_flight_ += 1;
+    ++cursor_;
+    cluster_.storage().read(
+        op.file, op.offset, op.size,
+        [this, id] {
+          cluster_.buffer().mark_ready(id);
+          fetches_in_flight_ -= 1;
+          kick();
+        });
+    if (fetches_in_flight_ >= cluster_.config().scheduler_fetch_depth) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------------
+
+Cluster::Cluster(Simulator& sim, StorageSystem& storage, const Compiled& compiled,
+                 RuntimeConfig cfg)
+    : sim_(sim),
+      storage_(storage),
+      compiled_(compiled),
+      cfg_(cfg),
+      buffer_(cfg.buffer_capacity) {
+  const int nproc = compiled_.program.num_processes();
+  for (int p = 0; p < nproc; ++p) {
+    clients_.push_back(std::make_unique<ClientProcess>(*this, p));
+  }
+  if (cfg_.use_runtime_scheduler) {
+    for (int p = 0; p < nproc; ++p) {
+      schedulers_.push_back(std::make_unique<SchedulerThread>(*this, p));
+    }
+  }
+  for (std::size_t i = 0; i < compiled_.program.read_sites.size(); ++i) {
+    const ReadSite& site = compiled_.program.read_sites[i];
+    assert(site.op_index < kMaxOpsPerSlot);
+    site_index_[site_key(site.process, site.slot, site.op_index)] =
+        static_cast<int>(i);
+  }
+}
+
+void Cluster::start() {
+  started_ = true;
+  for (auto& c : clients_) c->start();
+  for (auto& s : schedulers_) s->kick();
+}
+
+SimTime Cluster::run_to_completion() {
+  if (!started_) start();
+  while (!all_finished() && sim_.step()) {
+  }
+  return exec_time();
+}
+
+bool Cluster::all_finished() const {
+  return std::all_of(clients_.begin(), clients_.end(),
+                     [](const auto& c) { return c->finished(); });
+}
+
+SimTime Cluster::exec_time() const {
+  SimTime t = 0;
+  for (const auto& c : clients_) t = std::max(t, c->finish_time());
+  return t;
+}
+
+RuntimeStats Cluster::stats() const {
+  RuntimeStats out = stats_;
+  out.buffer = buffer_.stats();
+  return out;
+}
+
+int Cluster::access_id_at(int process, Slot slot, int op_index) const {
+  const auto it = site_index_.find(site_key(process, slot, op_index));
+  return it == site_index_.end() ? -1 : it->second;
+}
+
+const IoOp& Cluster::op_for(int access_id) const {
+  const ReadSite& site =
+      compiled_.program.read_sites[static_cast<std::size_t>(access_id)];
+  return compiled_.program.processes[static_cast<std::size_t>(site.process)]
+      .slots[static_cast<std::size_t>(site.slot)]
+      .ops[static_cast<std::size_t>(site.op_index)];
+}
+
+}  // namespace dasched

@@ -1,0 +1,167 @@
+// Client-side runtime (Sec. III): application processes plus the data access
+// scheduler threads.
+//
+// A `Cluster` wires one `ClientProcess` per MPI rank to the storage system
+// and — when the compiler-directed scheme is enabled — one `SchedulerThread`
+// per client node that prefetches data into the shared `GlobalBuffer`
+// according to the scheduling table.  Application reads first consult the
+// buffer: a hit returns immediately and invalidates the entry; a miss goes
+// to storage.  Scheduler threads respect the writers' "local times" so a
+// prefetch never runs ahead of the producing process.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/compile.h"
+#include "io/global_buffer.h"
+#include "sim/simulator.h"
+#include "storage/storage_system.h"
+#include "util/units.h"
+
+namespace dasched {
+
+class Cluster;
+
+struct RuntimeConfig {
+  /// Capacity of the collectively managed client-side prefetch buffer.
+  Bytes buffer_capacity = mib(128);
+  /// Prefetch only accesses scheduled more than `min_lead` slots before
+  /// their original point ("scheduled at much earlier iterations").
+  Slot min_lead = 1;
+  /// Latency of serving an application read from the buffer.
+  SimTime buffer_hit_latency = usec(10);
+  /// Concurrent fetches a scheduler thread keeps in flight.
+  int scheduler_fetch_depth = 4;
+  /// False disables the scheduler threads entirely (the Default scheme and
+  /// the paper's "without our approach" runs).
+  bool use_runtime_scheduler = true;
+};
+
+struct RuntimeStats {
+  std::int64_t buffer_hits = 0;
+  /// Application reads that found their prefetch still in flight and waited.
+  std::int64_t in_flight_hits = 0;
+  std::int64_t direct_reads = 0;
+  std::int64_t writes = 0;
+  std::int64_t prefetches = 0;
+  /// Table entries skipped because the scheduled point was too close to the
+  /// original point to be worth prefetching.
+  std::int64_t skipped_min_lead = 0;
+  BufferStats buffer;
+};
+
+/// One application process: executes its slot plan (compute + I/O calls),
+/// publishing its local time for the scheduler threads.
+class ClientProcess {
+ public:
+  ClientProcess(Cluster& cluster, int pid);
+
+  void start();
+
+  /// Number of fully completed slots (the paper's "local time").
+  [[nodiscard]] Slot local_time() const { return completed_; }
+
+  /// Fires `cb` (once) as soon as local_time() >= needed.
+  void subscribe_progress(Slot needed, std::function<void()> cb);
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] SimTime finish_time() const { return finish_time_; }
+  [[nodiscard]] int pid() const { return pid_; }
+
+ private:
+  void begin_slot();
+  void run_op(std::size_t op_index);
+  void op_done(std::size_t op_index);
+  void after_ops();
+  void finish_slot();
+
+  Cluster& cluster_;
+  int pid_;
+  Slot current_ = 0;
+  Slot completed_ = 0;
+  bool finished_ = false;
+  SimTime finish_time_ = 0;
+  std::vector<std::pair<Slot, std::function<void()>>> waiters_;
+};
+
+/// One runtime data-access scheduler thread (light-weight, per client node).
+/// It keeps a small bounded number of fetches in flight (a blocking thread
+/// with limited lookahead), so prefetch traffic can never flood the disks.
+class SchedulerThread {
+ public:
+  SchedulerThread(Cluster& cluster, int pid);
+
+  /// Re-evaluates the table cursor; invoked on owner progress, buffer space
+  /// release, writer progress and fetch completion.
+  void kick();
+
+ private:
+  Cluster& cluster_;
+  int pid_;
+  std::size_t cursor_ = 0;
+  int fetches_in_flight_ = 0;
+};
+
+class Cluster {
+ public:
+  Cluster(Simulator& sim, StorageSystem& storage, const Compiled& compiled,
+          RuntimeConfig cfg = {});
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Launches every client process (and scheduler thread) at the current
+  /// simulated time.
+  void start();
+
+  /// Convenience driver: start() if needed, then step the simulator until
+  /// every client finishes, and return the completion time.  Use this rather
+  /// than Simulator::run(): power-policy watchdog timers can keep the event
+  /// queue alive indefinitely after the application completes.
+  SimTime run_to_completion();
+
+  [[nodiscard]] bool all_finished() const;
+  /// Completion time of the slowest process.
+  [[nodiscard]] SimTime exec_time() const;
+
+  [[nodiscard]] RuntimeStats stats() const;
+
+  [[nodiscard]] int num_processes() const {
+    return static_cast<int>(clients_.size());
+  }
+  [[nodiscard]] ClientProcess& client(int p) {
+    return *clients_[static_cast<std::size_t>(p)];
+  }
+
+  // --- Internal plumbing shared by ClientProcess / SchedulerThread ---------
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] StorageSystem& storage() { return storage_; }
+  [[nodiscard]] GlobalBuffer& buffer() { return buffer_; }
+  [[nodiscard]] const Compiled& compiled() const { return compiled_; }
+  [[nodiscard]] const RuntimeConfig& config() const { return cfg_; }
+  [[nodiscard]] RuntimeStats& mutable_stats() { return stats_; }
+
+  /// Access id of the read at (process, slot, op index); -1 for writes.
+  [[nodiscard]] int access_id_at(int process, Slot slot, int op_index) const;
+
+  /// The I/O operation behind an access id.
+  [[nodiscard]] const IoOp& op_for(int access_id) const;
+
+ private:
+  Simulator& sim_;
+  StorageSystem& storage_;
+  const Compiled& compiled_;
+  RuntimeConfig cfg_;
+  GlobalBuffer buffer_;
+  std::vector<std::unique_ptr<ClientProcess>> clients_;
+  std::vector<std::unique_ptr<SchedulerThread>> schedulers_;
+  std::unordered_map<std::uint64_t, int> site_index_;
+  RuntimeStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace dasched

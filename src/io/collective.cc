@@ -1,0 +1,76 @@
+#include "io/collective.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace dasched {
+
+std::vector<CollectiveIo::Request> CollectiveIo::coalesce(
+    std::vector<Request> requests) const {
+  std::sort(requests.begin(), requests.end(), [](const Request& a, const Request& b) {
+    if (a.file != b.file) return a.file < b.file;
+    return a.offset < b.offset;
+  });
+
+  std::vector<Request> ranges;
+  for (const Request& r : requests) {
+    if (r.size <= 0) continue;
+    if (!ranges.empty()) {
+      Request& last = ranges.back();
+      const Bytes last_end = last.offset + last.size;
+      const bool same_file = last.file == r.file;
+      const Bytes hole = r.offset > last_end ? r.offset - last_end : 0;
+      const Bytes merged_end = std::max(last_end, r.offset + r.size);
+      if (same_file && r.offset <= last_end + cfg_.sieve_hole &&
+          merged_end - last.offset <= cfg_.max_range) {
+        last.size = merged_end - last.offset;
+        continue;
+      }
+    }
+    ranges.push_back(r);
+  }
+  return ranges;
+}
+
+void CollectiveIo::read_all(const std::vector<Request>& requests,
+                            std::function<void()> done) {
+  stats_.collective_calls += 1;
+  stats_.member_requests += static_cast<std::int64_t>(requests.size());
+  Bytes requested = 0;
+  for (const Request& r : requests) requested += r.size;
+  stats_.requested_bytes += requested;
+
+  const std::vector<Request> ranges = coalesce(requests);
+  stats_.coalesced_ranges += static_cast<std::int64_t>(ranges.size());
+  Bytes transferred = 0;
+  for (const Request& r : ranges) transferred += r.size;
+  stats_.transferred_bytes += transferred;
+  stats_.sieved_bytes += transferred - requested;
+
+  struct Join {
+    int outstanding = 1;
+    std::function<void()> done;
+    void arrive() {
+      if (--outstanding == 0 && done) done();
+    }
+  };
+  auto join = std::make_shared<Join>();
+  const SimTime exchange = cfg_.exchange_latency;
+  Simulator& sim = sim_;
+  join->done = [done = std::move(done), exchange, &sim]() mutable {
+    // Phase two: redistribute the aggregated data to the requesters.
+    if (done) sim.schedule_after(exchange, std::move(done));
+  };
+
+  // Ranges are handed to the aggregators round-robin; each fetch is an
+  // independent storage read (aggregators work in parallel).
+  const int aggs = std::max(1, cfg_.aggregators);
+  (void)aggs;  // parallelism is implicit: all ranges are issued at once
+  for (const Request& r : ranges) {
+    join->outstanding += 1;
+    storage_.read(r.file, r.offset, r.size, [join] { join->arrive(); });
+  }
+  join->arrive();
+}
+
+}  // namespace dasched

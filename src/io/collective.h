@@ -1,0 +1,75 @@
+// Collective I/O with data sieving — the ROMIO techniques of the paper's
+// I/O stack (Thakur et al., the paper's [39]).
+//
+// In two-phase collective I/O, all processes present their (possibly small,
+// interleaved) requests; aggregator processes coalesce them into few large
+// contiguous file ranges — reading through small holes ("data sieving") —
+// fetch those ranges, and redistribute the pieces over the network.  The
+// disks see a handful of large sequential transfers instead of a swarm of
+// small ones.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "storage/storage_system.h"
+#include "util/units.h"
+
+namespace dasched {
+
+struct CollectiveConfig {
+  /// Processes acting as aggregators (ROMIO's cb_nodes).
+  int aggregators = 4;
+  /// Holes up to this size are read through rather than split (data
+  /// sieving); 0 disables sieving.
+  Bytes sieve_hole = kib(64);
+  /// Largest single coalesced transfer (ROMIO's cb_buffer_size).
+  Bytes max_range = mib(4);
+  /// Redistribution cost after the read phase (one exchange step).
+  SimTime exchange_latency = usec(300);
+};
+
+struct CollectiveStats {
+  std::int64_t collective_calls = 0;
+  std::int64_t member_requests = 0;
+  std::int64_t coalesced_ranges = 0;
+  /// Bytes actually transferred from storage (>= requested when sieving).
+  Bytes transferred_bytes = 0;
+  Bytes requested_bytes = 0;
+  /// Hole bytes read through by data sieving.
+  Bytes sieved_bytes = 0;
+};
+
+class CollectiveIo {
+ public:
+  struct Request {
+    FileId file = 0;
+    Bytes offset = 0;
+    Bytes size = 0;
+  };
+
+  CollectiveIo(Simulator& sim, StorageSystem& storage,
+               CollectiveConfig cfg = {})
+      : sim_(sim), storage_(storage), cfg_(cfg) {}
+
+  /// MPI_File_read_all: every participant's request list, one call.  `done`
+  /// fires when every coalesced range has been read and redistributed.
+  void read_all(const std::vector<Request>& requests,
+                std::function<void()> done);
+
+  /// Pure planning step, exposed for tests: coalesces sorted requests into
+  /// the ranges the aggregators will fetch.
+  [[nodiscard]] std::vector<Request> coalesce(std::vector<Request> requests) const;
+
+  [[nodiscard]] const CollectiveStats& stats() const { return stats_; }
+
+ private:
+  Simulator& sim_;
+  StorageSystem& storage_;
+  CollectiveConfig cfg_;
+  CollectiveStats stats_;
+};
+
+}  // namespace dasched

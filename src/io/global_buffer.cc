@@ -1,0 +1,74 @@
+#include "io/global_buffer.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dasched {
+
+bool GlobalBuffer::try_reserve(int access_id, Bytes size) {
+  assert(!entries_.contains(access_id));
+  if (used_ + size > capacity_) {
+    stats_.full_rejections += 1;
+    return false;
+  }
+  used_ += size;
+  stats_.reservations += 1;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, used_);
+  entries_[access_id] = Entry{BufferEntryState::kInFlight, size, {}};
+  return true;
+}
+
+void GlobalBuffer::mark_ready(int access_id) {
+  const auto it = entries_.find(access_id);
+  if (it == entries_.end()) return;  // consumed-in-flight entries are gone
+  if (done_.contains(access_id)) {
+    // The application overtook the prefetch with its own demand read; the
+    // landed data is useless — reclaim the space.
+    used_ -= it->second.size;
+    entries_.erase(it);
+    stats_.wasted += 1;
+    auto waiters = std::move(space_waiters_);
+    space_waiters_.clear();
+    for (auto& cb : waiters) cb();
+    return;
+  }
+  it->second.state = BufferEntryState::kReady;
+  auto waiters = std::move(it->second.ready_waiters);
+  it->second.ready_waiters.clear();
+  for (auto& cb : waiters) cb();
+}
+
+void GlobalBuffer::consume(int access_id) {
+  const auto it = entries_.find(access_id);
+  assert(it != entries_.end());
+  assert(it->second.state == BufferEntryState::kReady);
+  used_ -= it->second.size;
+  entries_.erase(it);
+  done_.insert(access_id);
+  stats_.consumed += 1;
+  auto waiters = std::move(space_waiters_);
+  space_waiters_.clear();
+  for (auto& cb : waiters) cb();
+}
+
+void GlobalBuffer::mark_done(int access_id) { done_.insert(access_id); }
+
+BufferEntryState GlobalBuffer::state(int access_id) const {
+  const auto it = entries_.find(access_id);
+  if (it != entries_.end()) return it->second.state;
+  return done_.contains(access_id) ? BufferEntryState::kDone
+                                   : BufferEntryState::kAbsent;
+}
+
+void GlobalBuffer::wait_ready(int access_id, std::function<void()> cb) {
+  const auto it = entries_.find(access_id);
+  assert(it != entries_.end() && it->second.state == BufferEntryState::kInFlight);
+  it->second.ready_waiters.push_back(std::move(cb));
+  stats_.consumed_in_flight += 1;
+}
+
+void GlobalBuffer::wait_space(std::function<void()> cb) {
+  space_waiters_.push_back(std::move(cb));
+}
+
+}  // namespace dasched

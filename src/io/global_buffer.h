@@ -1,0 +1,86 @@
+// The client-side global prefetch buffer (Sec. III).
+//
+// Prefetched data are "stored in a global buffer collectively managed by all
+// scheduler threads in the client side".  Entries are keyed by access id —
+// each prefetch serves exactly one scheduled future read.  On an application
+// hit the entry is invalidated immediately to make space for subsequent
+// prefetches; when the buffer is full, scheduler threads stop fetching and
+// resume when space frees up.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.h"
+
+namespace dasched {
+
+enum class BufferEntryState { kAbsent, kInFlight, kReady, kDone };
+
+struct BufferStats {
+  std::int64_t reservations = 0;
+  std::int64_t full_rejections = 0;
+  std::int64_t consumed = 0;
+  /// Application reads that arrived while the prefetch was still in flight.
+  std::int64_t consumed_in_flight = 0;
+  /// Prefetches that landed after the application had already fetched the
+  /// data itself (wasted work).
+  std::int64_t wasted = 0;
+  Bytes peak_bytes = 0;
+};
+
+class GlobalBuffer {
+ public:
+  explicit GlobalBuffer(Bytes capacity) : capacity_(capacity) {}
+
+  /// Reserves space for a prefetch; false when the buffer is full.  In-flight
+  /// data counts against capacity.
+  bool try_reserve(int access_id, Bytes size);
+
+  /// The prefetch completed; wakes any application read waiting on it.
+  void mark_ready(int access_id);
+
+  /// The application consumed the entry (hit): frees the bytes and wakes
+  /// scheduler threads waiting for space.
+  void consume(int access_id);
+
+  /// The application handled this access itself (prefetch never issued or
+  /// arrived too late to be useful); scheduler threads must skip it.  If a
+  /// prefetch for it is still in flight, its bytes are reclaimed when it
+  /// lands (see mark_ready).
+  void mark_done(int access_id);
+
+  [[nodiscard]] BufferEntryState state(int access_id) const;
+  [[nodiscard]] bool is_done(int access_id) const {
+    return done_.contains(access_id);
+  }
+
+  /// Fires `cb` once when the in-flight entry becomes ready.
+  void wait_ready(int access_id, std::function<void()> cb);
+
+  /// Fires `cb` once at the next space release.
+  void wait_space(std::function<void()> cb);
+
+  [[nodiscard]] Bytes used() const { return used_; }
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] const BufferStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    BufferEntryState state = BufferEntryState::kAbsent;
+    Bytes size = 0;
+    std::vector<std::function<void()>> ready_waiters;
+  };
+
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::unordered_map<int, Entry> entries_;
+  std::unordered_set<int> done_;
+  std::vector<std::function<void()>> space_waiters_;
+  BufferStats stats_;
+};
+
+}  // namespace dasched

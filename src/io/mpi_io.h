@@ -1,0 +1,54 @@
+// A thin MPI-IO-flavoured facade over the simulated storage system.
+//
+// The paper's data access scheduler is implemented on top of the MPI-IO
+// library; examples use this facade so application code reads like Fig. 5
+// (MPI_File_open / MPI_File_read / MPI_File_write / MPI_File_close) while
+// everything routes through the simulated PVFS + I/O nodes.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "storage/storage_system.h"
+
+namespace dasched {
+
+class MpiIo {
+ public:
+  explicit MpiIo(StorageSystem& storage) : storage_(storage) {}
+
+  /// Opens (creating on first open) a file of the given size; returns the
+  /// file handle.  Re-opening by the same name returns the same handle.
+  FileId file_open(const std::string& name, Bytes size) {
+    const auto it = by_name_.find(name);
+    if (it != by_name_.end()) return it->second;
+    const FileId f = storage_.create_file(name, size);
+    by_name_.emplace(name, f);
+    return f;
+  }
+
+  /// MPI_File_read_at: explicit-offset read; `done` fires at completion.
+  void file_read_at(FileId fh, Bytes offset, Bytes size,
+                    std::function<void()> done) {
+    storage_.read(fh, offset, size, std::move(done));
+  }
+
+  /// MPI_File_write_at: explicit-offset write.
+  void file_write_at(FileId fh, Bytes offset, Bytes size,
+                     std::function<void()> done) {
+    storage_.write(fh, offset, size, std::move(done));
+  }
+
+  /// MPI_File_close: a no-op in simulation (kept for source fidelity).
+  void file_close(FileId fh) { assert(fh >= 0); }
+
+  [[nodiscard]] StorageSystem& storage() { return storage_; }
+
+ private:
+  StorageSystem& storage_;
+  std::unordered_map<std::string, FileId> by_name_;
+};
+
+}  // namespace dasched

@@ -1,0 +1,90 @@
+// Discrete-event simulation engine.
+//
+// A `Simulator` owns a priority queue of (time, sequence, callback) events.
+// Events scheduled for the same instant fire in scheduling order, so the
+// whole simulation is deterministic.  Events can be cancelled through the
+// `EventHandle` returned by `schedule_at`/`schedule_after`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/units.h"
+
+namespace dasched {
+
+class Simulator;
+
+/// Cancellation token for a scheduled event.  Copyable; all copies refer to
+/// the same underlying event.  Cancelling an already-fired event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the event from firing.  Safe to call repeatedly.
+  void cancel();
+
+  /// True if the event has neither fired nor been cancelled.
+  [[nodiscard]] bool pending() const;
+
+ private:
+  friend class Simulator;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `t` (>= now()).
+  EventHandle schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` to run `delay` after the current time.
+  EventHandle schedule_after(SimTime delay, Callback cb);
+
+  /// Runs until the event queue drains or `until` is reached (events at
+  /// exactly `until` still run).  Returns the final simulated time.
+  SimTime run(SimTime until = std::numeric_limits<SimTime>::max());
+
+  /// Runs a single event; returns false if the queue is empty.
+  bool step();
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::int64_t events_executed() const { return executed_; }
+
+  /// True when no runnable events remain.
+  [[nodiscard]] bool idle() const;
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Callback cb;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::int64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace dasched

@@ -1,0 +1,113 @@
+#include "storage/io_node.h"
+
+#include <cassert>
+#include <memory>
+
+namespace dasched {
+
+namespace {
+/// Completion barrier: fires `done` when all registered sub-operations and
+/// the initial guard have completed.
+struct Join {
+  int outstanding = 1;  // guard released by the issuer
+  std::function<void()> done;
+
+  void arrive() {
+    if (--outstanding == 0 && done) done();
+  }
+};
+}  // namespace
+
+IoNode::IoNode(Simulator& sim, IoNodeConfig cfg, int node_id, std::uint64_t seed)
+    : sim_(sim),
+      cfg_(cfg),
+      node_id_(node_id),
+      cache_(cfg.cache_capacity, cfg.cache_block_size),
+      raid_(cfg.raid, cfg.num_disks, cfg.chunk_size) {
+  for (int i = 0; i < cfg.num_disks; ++i) {
+    disks_.push_back(std::make_unique<Disk>(
+        sim_, cfg_.disk, seed * 1'000 + static_cast<std::uint64_t>(i) + 1));
+    policies_.push_back(make_policy(cfg_.policy, cfg_.policy_cfg));
+    disks_.back()->set_policy(policies_.back().get());
+  }
+}
+
+void IoNode::issue_disk_ops(const std::vector<DiskOp>& ops,
+                            const std::shared_ptr<std::function<void()>>& barrier,
+                            int* outstanding, bool background) {
+  for (const DiskOp& op : ops) {
+    assert(op.disk >= 0 && op.disk < num_disks());
+    if (outstanding != nullptr) *outstanding += 1;
+    disks_[static_cast<std::size_t>(op.disk)]->submit(DiskRequest{
+        op.offset, op.size, op.is_write, background,
+        barrier ? [barrier] { (*barrier)(); } : std::function<void()>{}});
+  }
+}
+
+void IoNode::prefetch_after_miss(Bytes block_offset) {
+  if (cfg_.prefetch_depth <= 0) return;
+  for (Bytes next : cache_.prefetch_candidates(block_offset, cfg_.prefetch_depth)) {
+    cache_.insert(next);
+    // Fire-and-forget disk reads; nobody waits on prefetches.
+    auto ops = raid_.map(next, cache_.block_size(), /*is_write=*/false);
+    issue_disk_ops(ops, nullptr, nullptr, /*background=*/true);
+  }
+}
+
+void IoNode::read(Bytes offset, Bytes size, std::function<void()> done,
+                  bool background) {
+  assert(offset >= 0 && size > 0);
+  auto join = std::make_shared<Join>();
+  join->done = std::move(done);
+  auto barrier = std::make_shared<std::function<void()>>([join] { join->arrive(); });
+
+  const Bytes first = cache_.align(offset);
+  const Bytes last = cache_.align(offset + size - 1);
+  for (Bytes b = first; b <= last; b += cache_.block_size()) {
+    if (cache_.lookup(b)) {
+      join->outstanding += 1;
+      sim_.schedule_after(cfg_.cache_hit_latency, [barrier] { (*barrier)(); });
+    } else {
+      // Whole-block fill, as real storage caches do.
+      cache_.insert(b);
+      const auto ops = raid_.map(b, cache_.block_size(), /*is_write=*/false);
+      issue_disk_ops(ops, barrier, &join->outstanding, background);
+      prefetch_after_miss(b);
+    }
+  }
+  join->arrive();  // release the guard
+}
+
+void IoNode::write(Bytes offset, Bytes size, std::function<void()> done) {
+  assert(offset >= 0 && size > 0);
+  // Ack-early write-behind: the storage cache absorbs the write and the
+  // client continues after the cache latency; the disk writes drain in the
+  // background.  (AccuSim's server caches behave the same way; this is what
+  // keeps disks busy through write bursts instead of lock-stepping clients.)
+  const auto ops = raid_.map(offset, size, /*is_write=*/true);
+  issue_disk_ops(ops, nullptr, nullptr);
+
+  const Bytes first = cache_.align(offset);
+  const Bytes last = cache_.align(offset + size - 1);
+  for (Bytes b = first; b <= last; b += cache_.block_size()) cache_.insert(b);
+
+  if (done) sim_.schedule_after(cfg_.cache_hit_latency, std::move(done));
+}
+
+IoNodeStats IoNode::finalize() {
+  IoNodeStats out;
+  out.cache = cache_.stats();
+  for (auto& d : disks_) {
+    const DiskStats& s = d->finalize();
+    out.energy_j += s.energy_j;
+    out.disk_requests += s.requests;
+    out.spin_downs += s.spin_downs;
+    out.spin_ups += s.spin_ups;
+    out.rpm_changes += s.rpm_changes;
+    out.idle_periods.merge(s.idle_periods);
+  }
+  out.requests = out.cache.hits + out.cache.misses;
+  return out;
+}
+
+}  // namespace dasched

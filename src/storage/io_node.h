@@ -1,0 +1,91 @@
+// An I/O node: storage cache + RAID layout + attached disks + power policy.
+//
+// The node serves node-local byte-range reads and writes.  Reads consult the
+// storage cache first (hits never reach the disks, which is what lets larger
+// caches erode the scheme's benefit, Sec. V-D); misses fan out through the
+// RAID layout to per-disk requests and trigger sequential prefetch.  Writes
+// are write-through.  A power policy instance is attached to every disk; the
+// paper spins all disks of a node up/down together, which emerges naturally
+// here because all of a node's disks see the same request stream envelope.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "disk/disk.h"
+#include "power/policies.h"
+#include "sim/simulator.h"
+#include "storage/raid.h"
+#include "storage/storage_cache.h"
+#include "util/units.h"
+
+namespace dasched {
+
+struct IoNodeConfig {
+  int num_disks = 1;
+  RaidLevel raid = RaidLevel::kRaid0;
+  /// Per-disk striping unit inside the node; defaults to the stripe size.
+  Bytes chunk_size = kib(64);
+  Bytes cache_capacity = mib(64);
+  Bytes cache_block_size = kib(64);
+  int prefetch_depth = 1;
+  /// Service latency of a cache hit (no disk involved).
+  SimTime cache_hit_latency = usec(50);
+  DiskParams disk;
+  PolicyKind policy = PolicyKind::kNone;
+  PolicyConfig policy_cfg;
+};
+
+struct IoNodeStats {
+  double energy_j = 0.0;
+  std::int64_t requests = 0;
+  std::int64_t disk_requests = 0;
+  std::int64_t spin_downs = 0;
+  std::int64_t spin_ups = 0;
+  std::int64_t rpm_changes = 0;
+  CacheStats cache;
+  DurationHistogram idle_periods;
+};
+
+class IoNode {
+ public:
+  IoNode(Simulator& sim, IoNodeConfig cfg, int node_id, std::uint64_t seed);
+
+  IoNode(const IoNode&) = delete;
+  IoNode& operator=(const IoNode&) = delete;
+
+  /// Node-local read; `done` fires when every block of the range is
+  /// available (cache hit or disk completion).  Background reads (runtime
+  /// prefetches) yield to demand traffic at the disks.
+  void read(Bytes offset, Bytes size, std::function<void()> done,
+            bool background = false);
+
+  /// Node-local write: the cache absorbs it (ack-early) and the disk writes
+  /// drain in the background; `done` fires after the cache latency.
+  void write(Bytes offset, Bytes size, std::function<void()> done);
+
+  [[nodiscard]] int node_id() const { return node_id_; }
+  [[nodiscard]] int num_disks() const { return static_cast<int>(disks_.size()); }
+  [[nodiscard]] Disk& disk(int i) { return *disks_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] StorageCache& cache() { return cache_; }
+
+  /// Accrues trailing energy on all disks and aggregates statistics.
+  IoNodeStats finalize();
+
+ private:
+  void issue_disk_ops(const std::vector<DiskOp>& ops,
+                      const std::shared_ptr<std::function<void()>>& barrier,
+                      int* outstanding, bool background = false);
+  void prefetch_after_miss(Bytes block_offset);
+
+  Simulator& sim_;
+  IoNodeConfig cfg_;
+  int node_id_;
+  StorageCache cache_;
+  RaidLayout raid_;
+  std::vector<std::unique_ptr<Disk>> disks_;
+  std::vector<std::unique_ptr<PowerPolicy>> policies_;
+};
+
+}  // namespace dasched

@@ -1,0 +1,84 @@
+#include "storage/raid.h"
+
+#include <cassert>
+
+namespace dasched {
+
+const char* to_string(RaidLevel level) {
+  switch (level) {
+    case RaidLevel::kRaid0: return "raid0";
+    case RaidLevel::kRaid5: return "raid5";
+    case RaidLevel::kRaid10: return "raid10";
+  }
+  return "?";
+}
+
+RaidLayout::RaidLayout(RaidLevel level, int num_disks, Bytes chunk_size)
+    : level_(level), num_disks_(num_disks), chunk_size_(chunk_size) {
+  assert(num_disks >= 1 && chunk_size > 0);
+  if (level == RaidLevel::kRaid5) assert(num_disks >= 3);
+  if (level == RaidLevel::kRaid10) assert(num_disks >= 2 && num_disks % 2 == 0);
+}
+
+double RaidLayout::capacity_factor() const {
+  switch (level_) {
+    case RaidLevel::kRaid0: return 1.0;
+    case RaidLevel::kRaid5:
+      return static_cast<double>(num_disks_ - 1) / static_cast<double>(num_disks_);
+    case RaidLevel::kRaid10: return 0.5;
+  }
+  return 1.0;
+}
+
+void RaidLayout::map_chunk(std::int64_t chunk, Bytes in_chunk, Bytes len,
+                           bool is_write, std::vector<DiskOp>& out) {
+  switch (level_) {
+    case RaidLevel::kRaid0: {
+      const int disk = static_cast<int>(chunk % num_disks_);
+      const Bytes off = (chunk / num_disks_) * chunk_size_ + in_chunk;
+      out.push_back(DiskOp{disk, off, len, is_write});
+      return;
+    }
+    case RaidLevel::kRaid10: {
+      const int pairs = num_disks_ / 2;
+      const int pair = static_cast<int>(chunk % pairs);
+      const Bytes off = (chunk / pairs) * chunk_size_ + in_chunk;
+      if (is_write) {
+        out.push_back(DiskOp{2 * pair, off, len, true});
+        out.push_back(DiskOp{2 * pair + 1, off, len, true});
+      } else {
+        const int mirror = static_cast<int>(mirror_toggle_++ % 2);
+        out.push_back(DiskOp{2 * pair + mirror, off, len, false});
+      }
+      return;
+    }
+    case RaidLevel::kRaid5: {
+      const int data_disks = num_disks_ - 1;
+      const std::int64_t row = chunk / data_disks;
+      const int parity_disk = static_cast<int>(row % num_disks_);
+      int data_disk = static_cast<int>(chunk % data_disks);
+      if (data_disk >= parity_disk) data_disk += 1;  // skip the parity slot
+      const Bytes off = row * chunk_size_ + in_chunk;
+      out.push_back(DiskOp{data_disk, off, len, is_write});
+      if (is_write) out.push_back(DiskOp{parity_disk, off, len, true});
+      return;
+    }
+  }
+}
+
+std::vector<DiskOp> RaidLayout::map(Bytes offset, Bytes size, bool is_write) {
+  assert(offset >= 0 && size > 0);
+  std::vector<DiskOp> out;
+  Bytes pos = offset;
+  const Bytes end = offset + size;
+  while (pos < end) {
+    const std::int64_t chunk = pos / chunk_size_;
+    const Bytes in_chunk = pos % chunk_size_;
+    const Bytes len = std::min(end - pos, chunk_size_ - in_chunk);
+    map_chunk(chunk, in_chunk, len, is_write, out);
+    pos += len;
+  }
+  return out;
+}
+
+}  // namespace dasched

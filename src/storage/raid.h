@@ -1,0 +1,58 @@
+// RAID layout inside an I/O node (Table II: "RAID Level 5, 10").
+//
+// An I/O node further stripes its node-local blocks across the disks
+// attached to it.  `RaidLayout` converts a node-local chunk operation into
+// the per-disk operations it implies:
+//   * RAID 0  — plain striping, one disk op per chunk.
+//   * RAID 10 — striped mirrors: writes hit both mirrors, reads alternate.
+//   * RAID 5  — rotating parity: reads hit the data disk; writes hit the
+//     data disk plus the row's parity disk (read-modify-write collapsed to
+//     the two writes, the standard simulation shortcut).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.h"
+
+namespace dasched {
+
+enum class RaidLevel { kRaid0, kRaid5, kRaid10 };
+
+[[nodiscard]] const char* to_string(RaidLevel level);
+
+struct DiskOp {
+  int disk = 0;
+  Bytes offset = 0;
+  Bytes size = 0;
+  bool is_write = false;
+};
+
+class RaidLayout {
+ public:
+  /// `chunk_size` is the per-disk striping unit inside the node.
+  RaidLayout(RaidLevel level, int num_disks, Bytes chunk_size);
+
+  /// Per-disk operations implementing a node-local read or write of
+  /// [offset, offset+size).  Deterministic; mirror reads alternate via an
+  /// internal counter.
+  [[nodiscard]] std::vector<DiskOp> map(Bytes offset, Bytes size, bool is_write);
+
+  [[nodiscard]] RaidLevel level() const { return level_; }
+  [[nodiscard]] int num_disks() const { return num_disks_; }
+
+  /// Usable fraction of raw capacity (1 for RAID 0, (n-1)/n for RAID 5,
+  /// 1/2 for RAID 10).
+  [[nodiscard]] double capacity_factor() const;
+
+ private:
+  void map_chunk(std::int64_t chunk, Bytes in_chunk, Bytes len, bool is_write,
+                 std::vector<DiskOp>& out);
+
+  RaidLevel level_;
+  int num_disks_;
+  Bytes chunk_size_;
+  std::uint64_t mirror_toggle_ = 0;
+};
+
+}  // namespace dasched

@@ -1,0 +1,63 @@
+#include "storage/storage_cache.h"
+
+#include <cassert>
+
+namespace dasched {
+
+StorageCache::StorageCache(Bytes capacity, Bytes block_size)
+    : block_size_(block_size),
+      max_blocks_(static_cast<std::size_t>(capacity / block_size)) {
+  assert(block_size > 0 && max_blocks_ >= 1);
+}
+
+bool StorageCache::lookup(Bytes block_offset) {
+  const auto it = map_.find(block_offset);
+  if (it == map_.end()) {
+    stats_.misses += 1;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  stats_.hits += 1;
+  return true;
+}
+
+bool StorageCache::contains(Bytes block_offset) const {
+  return map_.contains(block_offset);
+}
+
+void StorageCache::insert(Bytes block_offset) {
+  const auto it = map_.find(block_offset);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= max_blocks_) {
+    const Bytes victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    stats_.evictions += 1;
+  }
+  lru_.push_front(block_offset);
+  map_[block_offset] = lru_.begin();
+  stats_.insertions += 1;
+}
+
+void StorageCache::invalidate(Bytes block_offset) {
+  const auto it = map_.find(block_offset);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
+  stats_.invalidations += 1;
+}
+
+std::vector<Bytes> StorageCache::prefetch_candidates(Bytes block_offset,
+                                                     int depth) const {
+  std::vector<Bytes> out;
+  for (int k = 1; k <= depth; ++k) {
+    const Bytes next = block_offset + k * block_size_;
+    if (!map_.contains(next)) out.push_back(next);
+  }
+  return out;
+}
+
+}  // namespace dasched

@@ -1,0 +1,74 @@
+// Per-I/O-node storage cache (Table II: 64 MB per node).
+//
+// A block-granular LRU cache over node-local offsets.  Pure bookkeeping —
+// timing lives in `IoNode`, which consults the cache to decide whether a
+// block access reaches the disks at all.  Sequential prefetch decisions are
+// also made here (`prefetch_candidates`), mirroring AccuSim's server-side
+// storage caches "with I/O prefetching".
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.h"
+
+namespace dasched {
+
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;
+  std::int64_t invalidations = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::int64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class StorageCache {
+ public:
+  /// `capacity` and `block_size` must make at least one block fit.
+  StorageCache(Bytes capacity, Bytes block_size);
+
+  /// Looks up the block at the (aligned) offset; counts a hit/miss and
+  /// refreshes recency on hit.
+  bool lookup(Bytes block_offset);
+
+  /// True without touching statistics or recency.
+  [[nodiscard]] bool contains(Bytes block_offset) const;
+
+  /// Inserts (or refreshes) a block, evicting the least recently used block
+  /// if at capacity.
+  void insert(Bytes block_offset);
+
+  /// Removes a block if present.
+  void invalidate(Bytes block_offset);
+
+  /// Up to `depth` block offsets following `block_offset` that are not yet
+  /// cached — the sequential prefetch candidates for a miss.
+  [[nodiscard]] std::vector<Bytes> prefetch_candidates(Bytes block_offset,
+                                                       int depth) const;
+
+  [[nodiscard]] Bytes block_size() const { return block_size_; }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t max_blocks() const { return max_blocks_; }
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+
+  /// Aligns an arbitrary offset down to its block.
+  [[nodiscard]] Bytes align(Bytes offset) const {
+    return offset / block_size_ * block_size_;
+  }
+
+ private:
+  Bytes block_size_;
+  std::size_t max_blocks_;
+  std::list<Bytes> lru_;  // front = most recent
+  std::unordered_map<Bytes, std::list<Bytes>::iterator> map_;
+  CacheStats stats_;
+};
+
+}  // namespace dasched

@@ -1,0 +1,90 @@
+#include "storage/storage_system.h"
+
+#include <cassert>
+
+namespace dasched {
+
+StorageSystem::StorageSystem(Simulator& sim, StorageConfig cfg)
+    : sim_(sim),
+      cfg_(cfg),
+      striping_(cfg.num_io_nodes, cfg.stripe_size) {
+  // Multi-speed hardware is implied by the chosen policy.
+  cfg_.node.disk.multi_speed = needs_multi_speed(cfg_.node.policy);
+  cfg_.node.chunk_size = cfg_.stripe_size;
+  cfg_.node.cache_block_size = cfg_.stripe_size;
+  for (int i = 0; i < cfg_.num_io_nodes; ++i) {
+    nodes_.push_back(std::make_unique<IoNode>(
+        sim_, cfg_.node, i,
+        cfg_.seed * 10'000 + static_cast<std::uint64_t>(i) + 1));
+  }
+}
+
+void StorageSystem::route(FileId f, Bytes offset, Bytes size, bool is_write,
+                          bool background, std::function<void()> done) {
+  struct Join {
+    int outstanding = 1;
+    std::function<void()> done;
+    void arrive() {
+      if (--outstanding == 0 && done) done();
+    }
+  };
+  auto join = std::make_shared<Join>();
+  join->done = std::move(done);
+
+  const auto pieces = striping_.map(f, offset, size);
+  for (const StripePiece& piece : pieces) {
+    join->outstanding += 1;
+    const SimTime wire =
+        cfg_.network_latency +
+        static_cast<SimTime>(static_cast<double>(piece.length) /
+                             (cfg_.network_mb_per_sec * 1e6) *
+                             static_cast<double>(kUsecPerSec));
+    IoNode* node = nodes_[static_cast<std::size_t>(piece.io_node)].get();
+    sim_.schedule_after(wire, [this, node, piece, is_write, background, join] {
+      auto respond = [this, join] {
+        sim_.schedule_after(cfg_.network_latency, [join] { join->arrive(); });
+      };
+      if (is_write) {
+        node->write(piece.node_offset, piece.length, respond);
+      } else {
+        node->read(piece.node_offset, piece.length, respond, background);
+      }
+    });
+  }
+  join->arrive();
+}
+
+void StorageSystem::read(FileId f, Bytes offset, Bytes size,
+                         std::function<void()> done, bool background) {
+  route(f, offset, size, /*is_write=*/false, background, std::move(done));
+}
+
+void StorageSystem::write(FileId f, Bytes offset, Bytes size,
+                          std::function<void()> done) {
+  route(f, offset, size, /*is_write=*/true, /*background=*/false,
+        std::move(done));
+}
+
+StorageStats StorageSystem::finalize() {
+  StorageStats out;
+  std::int64_t hits = 0;
+  std::int64_t lookups = 0;
+  for (auto& n : nodes_) {
+    IoNodeStats s = n->finalize();
+    out.energy_j += s.energy_j;
+    out.requests += s.requests;
+    out.disk_requests += s.disk_requests;
+    out.spin_downs += s.spin_downs;
+    out.spin_ups += s.spin_ups;
+    out.rpm_changes += s.rpm_changes;
+    out.idle_periods.merge(s.idle_periods);
+    hits += s.cache.hits;
+    lookups += s.cache.hits + s.cache.misses;
+    out.per_node.push_back(std::move(s));
+  }
+  out.cache_hit_rate =
+      lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+  return out;
+}
+
+}  // namespace dasched

@@ -1,0 +1,92 @@
+// The cluster storage system: striped files over a set of I/O nodes.
+//
+// Client-side layers issue file-relative reads and writes; the system maps
+// them through the striping layer onto per-node pieces, charges a network
+// hop each way, and joins the per-node completions.  This is the simulation
+// stand-in for PVFS + the I/O node hardware.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "storage/io_node.h"
+#include "storage/striping.h"
+#include "util/units.h"
+
+namespace dasched {
+
+struct StorageConfig {
+  int num_io_nodes = 8;
+  Bytes stripe_size = kib(64);
+  IoNodeConfig node;
+  /// One-way client <-> I/O node latency.
+  SimTime network_latency = usec(200);
+  /// Network bandwidth applied to the data transfer of each piece.
+  double network_mb_per_sec = 1'000.0;
+  std::uint64_t seed = 7;
+
+  /// Table II defaults.
+  [[nodiscard]] static StorageConfig paper_defaults() { return StorageConfig{}; }
+};
+
+struct StorageStats {
+  double energy_j = 0.0;
+  std::int64_t requests = 0;
+  std::int64_t disk_requests = 0;
+  std::int64_t spin_downs = 0;
+  std::int64_t spin_ups = 0;
+  std::int64_t rpm_changes = 0;
+  double cache_hit_rate = 0.0;
+  DurationHistogram idle_periods;
+  std::vector<IoNodeStats> per_node;
+};
+
+class StorageSystem {
+ public:
+  StorageSystem(Simulator& sim, StorageConfig cfg);
+
+  StorageSystem(const StorageSystem&) = delete;
+  StorageSystem& operator=(const StorageSystem&) = delete;
+
+  FileId create_file(std::string name, Bytes size) {
+    return striping_.create_file(std::move(name), size);
+  }
+
+  /// File-relative read; `done` fires when every stripe piece has been
+  /// served and the response has crossed the network back.  Background
+  /// reads (runtime prefetches) yield to demand traffic at the disks.
+  void read(FileId f, Bytes offset, Bytes size, std::function<void()> done,
+            bool background = false);
+
+  /// File-relative write-through.
+  void write(FileId f, Bytes offset, Bytes size, std::function<void()> done);
+
+  /// I/O-node signature of an access — shared with the compiler.
+  [[nodiscard]] Signature signature(FileId f, Bytes offset, Bytes size) const {
+    return striping_.signature(f, offset, size);
+  }
+
+  [[nodiscard]] const StripingMap& striping() const { return striping_; }
+  /// Mutable access for workload builders that register files directly.
+  [[nodiscard]] StripingMap& striping() { return striping_; }
+  [[nodiscard]] const StorageConfig& config() const { return cfg_; }
+  [[nodiscard]] int num_io_nodes() const { return cfg_.num_io_nodes; }
+  [[nodiscard]] IoNode& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
+
+  /// Finalizes all nodes and aggregates system-wide statistics.
+  StorageStats finalize();
+
+ private:
+  void route(FileId f, Bytes offset, Bytes size, bool is_write,
+             bool background, std::function<void()> done);
+
+  Simulator& sim_;
+  StorageConfig cfg_;
+  StripingMap striping_;
+  std::vector<std::unique_ptr<IoNode>> nodes_;
+};
+
+}  // namespace dasched

@@ -1,0 +1,88 @@
+#include "storage/striping.h"
+
+#include <cassert>
+
+namespace dasched {
+
+StripingMap::StripingMap(int num_io_nodes, Bytes stripe_size)
+    : num_nodes_(num_io_nodes),
+      stripe_size_(stripe_size),
+      next_free_(static_cast<std::size_t>(num_io_nodes), 0) {
+  assert(num_io_nodes > 0 && stripe_size > 0);
+}
+
+FileId StripingMap::create_file(std::string name, Bytes size) {
+  assert(size > 0);
+  FileInfo fi;
+  fi.name = std::move(name);
+  fi.size = size;
+  fi.base_node = static_cast<int>(files_.size()) % num_nodes_;
+  fi.node_base.assign(static_cast<std::size_t>(num_nodes_), 0);
+
+  const std::int64_t num_stripes = (size + stripe_size_ - 1) / stripe_size_;
+  for (int d = 0; d < num_nodes_; ++d) {
+    // Count of this file's stripes living on node d.
+    const int first = ((d - fi.base_node) % num_nodes_ + num_nodes_) % num_nodes_;
+    const std::int64_t count =
+        first >= num_stripes ? 0 : (num_stripes - first + num_nodes_ - 1) / num_nodes_;
+    fi.node_base[static_cast<std::size_t>(d)] = next_free_[static_cast<std::size_t>(d)];
+    next_free_[static_cast<std::size_t>(d)] += count * stripe_size_;
+  }
+  files_.push_back(std::move(fi));
+  return static_cast<FileId>(files_.size() - 1);
+}
+
+const StripingMap::FileInfo& StripingMap::info(FileId f) const {
+  assert(f >= 0 && static_cast<std::size_t>(f) < files_.size());
+  return files_[static_cast<std::size_t>(f)];
+}
+
+const std::string& StripingMap::file_name(FileId f) const { return info(f).name; }
+
+Bytes StripingMap::file_size(FileId f) const { return info(f).size; }
+
+int StripingMap::node_of_stripe(FileId f, std::int64_t index) const {
+  return (info(f).base_node + static_cast<int>(index % num_nodes_)) % num_nodes_;
+}
+
+std::vector<StripePiece> StripingMap::map(FileId f, Bytes offset,
+                                          Bytes size) const {
+  const FileInfo& fi = info(f);
+  assert(offset >= 0 && size > 0 && offset + size <= fi.size);
+
+  std::vector<StripePiece> out;
+  Bytes pos = offset;
+  const Bytes end = offset + size;
+  while (pos < end) {
+    const std::int64_t stripe = pos / stripe_size_;
+    const Bytes in_stripe = pos % stripe_size_;
+    const Bytes piece = std::min(end - pos, stripe_size_ - in_stripe);
+    const int node = node_of_stripe(f, stripe);
+    // Stripe k of this file is the (k / num_nodes)-th of the file's stripes
+    // on its node (round-robin places exactly one stripe per node per round).
+    const Bytes local =
+        fi.node_base[static_cast<std::size_t>(node)] +
+        (stripe / num_nodes_) * stripe_size_ + in_stripe;
+    out.push_back(StripePiece{node, local, piece});
+    pos += piece;
+  }
+  return out;
+}
+
+Signature StripingMap::signature(FileId f, Bytes offset, Bytes size) const {
+  Signature sig(num_nodes_);
+  const std::int64_t first = offset / stripe_size_;
+  const std::int64_t last = (offset + size - 1) / stripe_size_;
+  for (std::int64_t k = first; k <= last; ++k) {
+    sig.set(node_of_stripe(f, k));
+    if (sig.popcount() == num_nodes_) break;  // already all nodes
+  }
+  return sig;
+}
+
+Bytes StripingMap::allocated_on(int node) const {
+  assert(node >= 0 && node < num_nodes_);
+  return next_free_[static_cast<std::size_t>(node)];
+}
+
+}  // namespace dasched

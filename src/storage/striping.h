@@ -1,0 +1,75 @@
+// File striping across I/O nodes (Fig. 1).
+//
+// The parallel file system divides every file into fixed-size stripes and
+// distributes them round-robin over the I/O nodes, each file starting at a
+// per-file base node.  `StripingMap` is a pure mapping shared by the
+// compiler (to build access signatures) and the storage system (to route
+// requests); it also hands out deterministic node-local disk offsets through
+// a per-node bump allocator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/signature.h"
+#include "util/units.h"
+
+namespace dasched {
+
+using FileId = int;
+
+struct StripePiece {
+  int io_node = 0;
+  /// Node-local byte offset assigned to this stripe.
+  Bytes node_offset = 0;
+  /// Byte range of the original request covered by this piece.
+  Bytes length = 0;
+};
+
+class StripingMap {
+ public:
+  StripingMap(int num_io_nodes, Bytes stripe_size);
+
+  /// Registers a file; stripes are assigned node-local space immediately.
+  FileId create_file(std::string name, Bytes size);
+
+  [[nodiscard]] int num_io_nodes() const { return num_nodes_; }
+  [[nodiscard]] Bytes stripe_size() const { return stripe_size_; }
+  [[nodiscard]] int num_files() const { return static_cast<int>(files_.size()); }
+  [[nodiscard]] const std::string& file_name(FileId f) const;
+  [[nodiscard]] Bytes file_size(FileId f) const;
+
+  /// I/O node holding stripe `index` of file `f`.
+  [[nodiscard]] int node_of_stripe(FileId f, std::int64_t index) const;
+
+  /// Splits a byte-range access into per-stripe pieces with node-local
+  /// offsets.  The range must lie inside the file.
+  [[nodiscard]] std::vector<StripePiece> map(FileId f, Bytes offset,
+                                             Bytes size) const;
+
+  /// Signature of the I/O nodes a byte-range access touches — the quantity
+  /// the compiler attaches to every access record.
+  [[nodiscard]] Signature signature(FileId f, Bytes offset, Bytes size) const;
+
+  /// Total node-local bytes allocated on one I/O node (for capacity checks).
+  [[nodiscard]] Bytes allocated_on(int node) const;
+
+ private:
+  struct FileInfo {
+    std::string name;
+    Bytes size = 0;
+    int base_node = 0;
+    /// Node-local byte offset of this file's first stripe on each node.
+    std::vector<Bytes> node_base;
+  };
+
+  [[nodiscard]] const FileInfo& info(FileId f) const;
+
+  int num_nodes_;
+  Bytes stripe_size_;
+  std::vector<FileInfo> files_;
+  std::vector<Bytes> next_free_;  // per-node bump allocator
+};
+
+}  // namespace dasched

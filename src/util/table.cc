@@ -1,0 +1,60 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace dasched {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+std::string TextTable::to_string() const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+
+  std::vector<std::size_t> widths(ncols, 0);
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      os << cell << std::string(widths[i] - cell.size(), ' ');
+      if (i + 1 < ncols) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  total += 2 * (ncols - 1);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void TextTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace dasched

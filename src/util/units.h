@@ -1,0 +1,47 @@
+// Time and size units used throughout the simulator.
+//
+// Simulated time is an integer count of microseconds (`SimTime`).  An
+// integral time base keeps event ordering exact and reproducible; helpers
+// below convert to and from the floating-point units used in reports.
+#pragma once
+
+#include <cstdint>
+
+namespace dasched {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kUsecPerMsec = 1'000;
+inline constexpr SimTime kUsecPerSec = 1'000'000;
+
+[[nodiscard]] constexpr SimTime usec(std::int64_t v) { return v; }
+[[nodiscard]] constexpr SimTime msec(double v) {
+  return static_cast<SimTime>(v * static_cast<double>(kUsecPerMsec));
+}
+[[nodiscard]] constexpr SimTime sec(double v) {
+  return static_cast<SimTime>(v * static_cast<double>(kUsecPerSec));
+}
+
+[[nodiscard]] constexpr double to_msec(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kUsecPerMsec);
+}
+[[nodiscard]] constexpr double to_sec(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kUsecPerSec);
+}
+[[nodiscard]] constexpr double to_minutes(SimTime t) {
+  return to_sec(t) / 60.0;
+}
+
+/// Sizes are plain byte counts.
+using Bytes = std::int64_t;
+
+inline constexpr Bytes kKiB = 1'024;
+inline constexpr Bytes kMiB = 1'024 * kKiB;
+inline constexpr Bytes kGiB = 1'024 * kMiB;
+
+[[nodiscard]] constexpr Bytes kib(std::int64_t v) { return v * kKiB; }
+[[nodiscard]] constexpr Bytes mib(std::int64_t v) { return v * kMiB; }
+[[nodiscard]] constexpr Bytes gib(std::int64_t v) { return v * kGiB; }
+
+}  // namespace dasched

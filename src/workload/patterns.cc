@@ -1,0 +1,89 @@
+#include "workload/patterns.h"
+
+namespace dasched::patterns {
+
+namespace {
+using AE = AffineExpr;
+
+AE pvar() { return AE::var(kProcessVar); }
+}  // namespace
+
+Stmt io_step(Stmt call, const StepShape& shape) {
+  StmtList slot{std::move(call), make_compute(AE(shape.io_compute))};
+  StmtList outer;
+  outer.push_back(make_loop("_s", 0, 0, std::move(slot), /*slot_loop=*/true));
+  if (shape.pads > 0 && shape.pad_compute > 0) {
+    outer.push_back(make_loop("_pad", 0, AE(shape.pads - 1),
+                              {make_compute(AE(shape.pad_compute))},
+                              /*slot_loop=*/true));
+  }
+  return make_loop("_g", 0, 0, std::move(outer), /*slot_loop=*/false);
+}
+
+Stmt sequential_scan(FileId file, std::int64_t count, Bytes block,
+                     const StepShape& shape, const std::string& var) {
+  const AE i = AE::var(var);
+  const AE offset = pvar() * (count * block) + i * block;
+  return make_loop(var, 0, AE(count - 1),
+                   {io_step(make_read(file, offset, block), shape)},
+                   /*slot_loop=*/false);
+}
+
+Stmt interleaved_scan(FileId file, std::int64_t count, Bytes block,
+                      Bytes stride, const StepShape& shape,
+                      const std::string& var) {
+  const AE i = AE::var(var);
+  const AE offset = i * stride + pvar() * block;
+  return make_loop(var, 0, AE(count - 1),
+                   {io_step(make_read(file, offset, block), shape)},
+                   /*slot_loop=*/false);
+}
+
+Stmt hot_block_reread(FileId file, std::int64_t count, Bytes block,
+                      const StepShape& shape, const std::string& var) {
+  const AE offset = pvar() * block;
+  return make_loop(var, 0, AE(count - 1),
+                   {io_step(make_read(file, offset, block), shape)},
+                   /*slot_loop=*/false);
+}
+
+Stmt update_sweep(FileId file, std::int64_t count, Bytes block,
+                  const StepShape& shape, const std::string& var) {
+  const AE i = AE::var(var);
+  const AE offset = pvar() * (count * block) + i * block;
+  // Read and write sit in separate slots: a same-slot write would clamp the
+  // read's slack to length 1 (the conservative race rule, see slack.h).
+  StmtList outer;
+  outer.push_back(make_loop("_r", 0, 0,
+                            {make_read(file, offset, block),
+                             make_compute(AE(shape.io_compute))},
+                            /*slot_loop=*/true));
+  outer.push_back(make_loop("_w", 0, 0,
+                            {make_compute(AE(shape.pad_compute)),
+                             make_write(file, offset, block)},
+                            /*slot_loop=*/true));
+  if (shape.pads > 0 && shape.pad_compute > 0) {
+    outer.push_back(make_loop("_pad", 0, AE(shape.pads - 1),
+                              {make_compute(AE(shape.pad_compute))},
+                              /*slot_loop=*/true));
+  }
+  return make_loop(var, 0, AE(count - 1),
+                   {make_loop("_g", 0, 0, std::move(outer), false)},
+                   /*slot_loop=*/false);
+}
+
+Stmt producer_stream(FileId file, std::int64_t count, Bytes block,
+                     const StepShape& shape, const std::string& var) {
+  const AE i = AE::var(var);
+  const AE offset = pvar() * (count * block) + i * block;
+  return make_loop(var, 0, AE(count - 1),
+                   {io_step(make_write(file, offset, block), shape)},
+                   /*slot_loop=*/false);
+}
+
+Stmt compute_phase(SimTime duration) {
+  return make_loop("_ph", 0, 0, {make_compute(AE(duration))},
+                   /*slot_loop=*/true);
+}
+
+}  // namespace dasched::patterns

@@ -1,0 +1,74 @@
+// Reusable access-pattern builders for the affine loop-nest IR.
+//
+// The six paper applications (apps.cc) are compositions of a handful of
+// canonical parallel I/O patterns; this header exposes those patterns as a
+// small combinator library so new workloads (examples, tests, user studies)
+// can be assembled declaratively.  Every builder returns a `Stmt` that can
+// be dropped into a `LoopProgram` body.
+//
+// Conventions shared with the rest of the compiler: `p` is the process id,
+// `P` the process count; each I/O call occupies one scheduling slot followed
+// by `pads` compute-only slots (see DESIGN.md on iteration granularity).
+#pragma once
+
+#include <string>
+
+#include "compiler/loop_program.h"
+#include "util/units.h"
+
+namespace dasched::patterns {
+
+/// Knobs shared by all pattern builders.
+struct StepShape {
+  /// CPU time in the I/O slot itself.
+  SimTime io_compute = usec(4'000);
+  /// CPU time of each trailing compute-only slot.
+  SimTime pad_compute = usec(2'000);
+  /// Number of trailing compute-only slots.
+  int pads = 2;
+};
+
+/// One I/O step: the call plus its pad slots.
+[[nodiscard]] Stmt io_step(Stmt call, const StepShape& shape);
+
+/// Process-partitioned sequential scan: process p reads `count` blocks of
+/// `block` bytes from its contiguous band of `file` (band stride =
+/// count*block per process).  The classic streaming input pattern (sar).
+[[nodiscard]] Stmt sequential_scan(FileId file, std::int64_t count, Bytes block,
+                                   const StepShape& shape = {},
+                                   const std::string& var = "i");
+
+/// Interleaved scan: block i of process p sits at i*stride + p*block, the
+/// layout of (i*P + p)*block with stride = P*block.  Consecutive iterations
+/// of one process stride by `stride`, which for node-aligned strides pins
+/// the process to a fixed I/O-node set (astro).  The stride is a build-time
+/// constant because i*P*block is not affine in (i, P) jointly.
+[[nodiscard]] Stmt interleaved_scan(FileId file, std::int64_t count,
+                                    Bytes block, Bytes stride,
+                                    const StepShape& shape = {},
+                                    const std::string& var = "i");
+
+/// Hot-block re-read: every iteration reads the same process-private block
+/// (calibration tables, density matrices) — storage-cache resident.
+[[nodiscard]] Stmt hot_block_reread(FileId file, std::int64_t count,
+                                    Bytes block, const StepShape& shape = {},
+                                    const std::string& var = "i");
+
+/// In-place update sweep: read block i, compute, write it back (apsi's
+/// plane sweep).  Reads carry one-sweep producer-consumer slacks when the
+/// sweep is repeated.
+[[nodiscard]] Stmt update_sweep(FileId file, std::int64_t count, Bytes block,
+                                const StepShape& shape = {},
+                                const std::string& var = "i");
+
+/// Producer stream: write `count` process-private blocks (madbench's
+/// write-out phase).
+[[nodiscard]] Stmt producer_stream(FileId file, std::int64_t count,
+                                   Bytes block, const StepShape& shape = {},
+                                   const std::string& var = "i");
+
+/// A compute-only phase of the given length in one slot — the idle gaps the
+/// power policies exploit.
+[[nodiscard]] Stmt compute_phase(SimTime duration);
+
+}  // namespace dasched::patterns

@@ -1,0 +1,139 @@
+#include "compiler/compile.h"
+
+#include <gtest/gtest.h>
+
+#include "compiler/trace_builder.h"
+
+namespace dasched {
+namespace {
+
+using AE = AffineExpr;
+
+class CompileTest : public ::testing::Test {
+ protected:
+  CompileTest() : striping_(4, kib(64)) {
+    file_ = striping_.create_file("f", mib(64));
+  }
+
+  /// Two processes, each: 20 iterations x (read 64K at a process-private
+  /// offset + compute-only pad slots, so the scheduler has room to hoist).
+  LoopProgram simple_program() {
+    LoopProgram prog;
+    prog.body.push_back(make_loop(
+        "i", 0, AE(19),
+        {
+            make_loop("_io", 0, 0,
+                      {make_read(file_,
+                                 AE::var("p") * mib(8) + AE::var("i") * kib(64),
+                                 kib(64)),
+                       make_compute(AE(1'000))},
+                      /*slot_loop=*/true),
+            make_loop("_pad", 0, 1, {make_compute(AE(500))},
+                      /*slot_loop=*/true),
+        },
+        /*slot_loop=*/false));
+    return prog;
+  }
+
+  StripingMap striping_;
+  FileId file_;
+};
+
+TEST_F(CompileTest, ProducesOneTableEntryPerRead) {
+  const Compiled c = compile(simple_program(), 2, striping_);
+  EXPECT_EQ(c.program.reads.size(), 40u);
+  EXPECT_EQ(c.table.total_entries(), 40);
+  EXPECT_EQ(c.scheduled.size(), 40u);
+  EXPECT_EQ(c.sched_stats.scheduled, 40);
+}
+
+TEST_F(CompileTest, DisabledSchedulingPinsAccessesToOriginals) {
+  CompileOptions opts;
+  opts.enable_scheduling = false;
+  const Compiled c = compile(simple_program(), 2, striping_, opts);
+  for (const ScheduledAccess& s : c.scheduled) {
+    EXPECT_EQ(s.slot, s.rec.original);
+  }
+}
+
+TEST_F(CompileTest, EnabledSchedulingHoistsSomething) {
+  const Compiled c = compile(simple_program(), 2, striping_);
+  EXPECT_GT(c.sched_stats.mean_advance_slots, 0.0);
+}
+
+TEST_F(CompileTest, ScheduledSlotsStayInsideSlacks) {
+  const Compiled c = compile(simple_program(), 2, striping_);
+  for (const ScheduledAccess& s : c.scheduled) {
+    if (s.forced) continue;
+    EXPECT_GE(s.slot, s.rec.begin);
+    EXPECT_LE(s.slot + s.rec.length - 1, s.rec.end);
+  }
+}
+
+TEST_F(CompileTest, TraceFrontEndMatchesPipeline) {
+  TraceBuilder tb(1);
+  tb.write(0, file_, 0, kib(64));
+  tb.end_slot(0);
+  for (int i = 0; i < 5; ++i) {
+    tb.compute(0, 100);
+    tb.end_slot(0);
+  }
+  tb.read(0, file_, 0, kib(64));
+  tb.end_slot(0);
+  const Compiled c = compile_trace(tb.build(), striping_);
+  ASSERT_EQ(c.program.reads.size(), 1u);
+  EXPECT_EQ(c.program.reads[0].begin, 1);
+  EXPECT_EQ(c.program.reads[0].end, 6);
+  ASSERT_EQ(c.table.entries(0).size(), 1u);
+}
+
+TEST_F(CompileTest, SlackBoundFlowsThrough) {
+  CompileOptions opts;
+  opts.slack.max_slack = 3;
+  const Compiled c = compile(simple_program(), 2, striping_, opts);
+  for (const AccessRecord& r : c.program.reads) {
+    EXPECT_LE(r.slack_length(), 3);
+  }
+}
+
+TEST_F(CompileTest, EmptyProgramCompilesCleanly) {
+  LoopProgram prog;
+  const Compiled c = compile(prog, 2, striping_);
+  EXPECT_EQ(c.program.reads.size(), 0u);
+  EXPECT_EQ(c.table.total_entries(), 0);
+}
+
+TEST_F(CompileTest, AffinePathReportsDependenceScreen) {
+  const Compiled c = compile(simple_program(), 2, striping_);
+  // Read-only program: no write/read pairs at all.
+  EXPECT_EQ(c.dependence.pairs, 0);
+
+  LoopProgram rw;
+  rw.body.push_back(make_loop(
+      "i", 0, AE(9),
+      {make_write(file_, AE::var("i") * kib(64), kib(64)),
+       make_read(file_, AE(mib(32)) + AE::var("i") * kib(64), kib(64))}));
+  const Compiled c2 = compile(rw, 2, striping_);
+  EXPECT_GT(c2.dependence.pairs, 0);
+  // Writes in [0, 640K), reads in [32M, 32M+640K): provably independent.
+  EXPECT_DOUBLE_EQ(c2.dependence.pruned_fraction(), 1.0);
+}
+
+TEST_F(CompileTest, TracePathLeavesDependenceSummaryEmpty) {
+  TraceBuilder tb(1);
+  tb.read(0, file_, 0, kib(64));
+  tb.end_slot(0);
+  const Compiled c = compile_trace(tb.build(), striping_);
+  EXPECT_EQ(c.dependence.pairs, 0);
+}
+
+TEST_F(CompileTest, WriteOnlyProgramHasNoTableEntries) {
+  LoopProgram prog;
+  prog.body.push_back(make_loop(
+      "i", 0, AE(9), {make_write(file_, AE::var("i") * kib(64), kib(64))}));
+  const Compiled c = compile(prog, 1, striping_);
+  EXPECT_EQ(c.program.reads.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dasched

@@ -1,0 +1,161 @@
+#include "compiler/lower.h"
+
+#include <gtest/gtest.h>
+
+#include "compiler/loop_program.h"
+
+namespace dasched {
+namespace {
+
+using AE = AffineExpr;
+
+TEST(Lower, SimpleSlotLoopProducesOneSlotPerIteration) {
+  LoopProgram prog;
+  prog.body.push_back(make_loop("i", 0, AE(9),
+                                {make_read(0, AE::var("i") * kib(64), kib(64)),
+                                 make_compute(AE(1'000))}));
+  const CompiledProgram cp = lower(prog, 1);
+  ASSERT_EQ(cp.num_processes(), 1);
+  EXPECT_EQ(cp.num_slots, 10);
+  for (const SlotPlan& s : cp.processes[0].slots) {
+    EXPECT_EQ(s.ops.size(), 1u);
+    EXPECT_EQ(s.compute, 1'000);
+  }
+}
+
+TEST(Lower, OffsetsEvaluatePerIteration) {
+  LoopProgram prog;
+  prog.body.push_back(make_loop("i", 0, AE(3),
+                                {make_read(0, AE::var("i") * 100, 10)}));
+  const CompiledProgram cp = lower(prog, 1);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(cp.processes[0].slots[static_cast<std::size_t>(i)].ops[0].offset,
+              i * 100);
+  }
+}
+
+TEST(Lower, ProcessIdIsBound) {
+  LoopProgram prog;
+  prog.body.push_back(make_loop("i", 0, AE(0),
+                                {make_read(0, AE::var("p") * 1'000, 10)}));
+  const CompiledProgram cp = lower(prog, 3);
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_EQ(cp.processes[static_cast<std::size_t>(p)].slots[0].ops[0].offset,
+              p * 1'000);
+  }
+}
+
+TEST(Lower, ProcessCountIsBound) {
+  LoopProgram prog;
+  prog.body.push_back(make_loop("i", 0, AE(0),
+                                {make_read(0, AE::var("P") * 10, 10)}));
+  const CompiledProgram cp = lower(prog, 4);
+  EXPECT_EQ(cp.processes[0].slots[0].ops[0].offset, 40);
+}
+
+TEST(Lower, NestedNonSlotLoopAccumulatesIntoParentSlot) {
+  // Outer slot loop, inner plain loop: the inner iterations' compute piles
+  // into the outer iteration's slot.
+  LoopProgram prog;
+  prog.body.push_back(make_loop(
+      "i", 0, AE(1),
+      {make_loop("j", 0, AE(4), {make_compute(AE(10))}, /*slot_loop=*/false)},
+      /*slot_loop=*/true));
+  const CompiledProgram cp = lower(prog, 1);
+  ASSERT_EQ(cp.num_slots, 2);
+  EXPECT_EQ(cp.processes[0].slots[0].compute, 50);
+}
+
+TEST(Lower, TriangularBoundsDependOnOuterVariable) {
+  LoopProgram prog;
+  prog.body.push_back(make_loop(
+      "i", 0, AE(3),
+      {make_loop("j", 0, AE::var("i"), {make_compute(AE(1))},
+                 /*slot_loop=*/true)},
+      /*slot_loop=*/false));
+  const CompiledProgram cp = lower(prog, 1);
+  // 1 + 2 + 3 + 4 inner iterations.
+  EXPECT_EQ(cp.num_slots, 10);
+}
+
+TEST(Lower, PerProcessBoundsYieldUnevenSlotCountsThatAlign) {
+  // Process p runs p+1 iterations; alignment pads everyone to the max.
+  LoopProgram prog;
+  prog.body.push_back(make_loop("i", 0, AE::var("p"),
+                                {make_compute(AE(5))}));
+  const CompiledProgram cp = lower(prog, 3);
+  EXPECT_EQ(cp.num_slots, 3);
+  EXPECT_EQ(cp.processes[0].slots.size(), 3u);
+  // Padding slots are empty.
+  EXPECT_EQ(cp.processes[0].slots[2].compute, 0);
+  EXPECT_EQ(cp.processes[2].slots[2].compute, 5);
+}
+
+TEST(Lower, EmptySlotIterationsAreDropped) {
+  // Slot-loop iterations with neither compute nor I/O do not create slots.
+  LoopProgram prog;
+  prog.body.push_back(make_loop("i", 0, AE(4), {}));
+  const CompiledProgram cp = lower(prog, 1);
+  EXPECT_EQ(cp.num_slots, 0);
+}
+
+TEST(Lower, TrailingStatementsFormFinalSlot) {
+  LoopProgram prog;
+  prog.body.push_back(make_loop("i", 0, AE(1), {make_compute(AE(1))}));
+  prog.body.push_back(make_write(0, 0, kib(64)));
+  const CompiledProgram cp = lower(prog, 1);
+  EXPECT_EQ(cp.num_slots, 3);
+  EXPECT_TRUE(cp.processes[0].slots[2].ops[0].is_write);
+}
+
+TEST(Lower, StepGreaterThanOne) {
+  LoopProgram prog;
+  prog.body.push_back(make_loop("i", 0, AE(9), {make_compute(AE(1))},
+                                /*slot_loop=*/true, /*step=*/3));
+  const CompiledProgram cp = lower(prog, 1);
+  EXPECT_EQ(cp.num_slots, 4);  // i = 0, 3, 6, 9
+}
+
+TEST(Lower, MaxSlotsGuardThrows) {
+  LoopProgram prog;
+  prog.body.push_back(make_loop("i", 0, AE(10'000), {make_compute(AE(1))}));
+  LowerOptions opts;
+  opts.max_slots_per_process = 100;
+  EXPECT_THROW((void)lower(prog, 1, opts), std::runtime_error);
+}
+
+TEST(Coarsen, MergesGroupsOfDSlots) {
+  LoopProgram prog;
+  prog.body.push_back(make_loop("i", 0, AE(9),
+                                {make_read(0, AE::var("i") * 10, 10),
+                                 make_compute(AE(100))}));
+  CompiledProgram cp = lower(prog, 1);
+  coarsen(cp, 4);
+  ASSERT_EQ(cp.num_slots, 3);  // ceil(10 / 4)
+  EXPECT_EQ(cp.processes[0].slots[0].ops.size(), 4u);
+  EXPECT_EQ(cp.processes[0].slots[0].compute, 400);
+  EXPECT_EQ(cp.processes[0].slots[2].ops.size(), 2u);
+}
+
+TEST(Coarsen, GranularityOneIsIdentity) {
+  LoopProgram prog;
+  prog.body.push_back(make_loop("i", 0, AE(4), {make_compute(AE(1))}));
+  CompiledProgram cp = lower(prog, 1);
+  const Slot before = cp.num_slots;
+  coarsen(cp, 1);
+  EXPECT_EQ(cp.num_slots, before);
+}
+
+TEST(Lower, TotalsHelpers) {
+  LoopProgram prog;
+  prog.body.push_back(make_loop("i", 0, AE(4),
+                                {make_read(0, 0, kib(64)),
+                                 make_write(1, 0, kib(32))}));
+  const CompiledProgram cp = lower(prog, 2);
+  EXPECT_EQ(cp.total_ops(), 20);
+  EXPECT_EQ(cp.total_bytes(/*writes=*/false), 2 * 5 * kib(64));
+  EXPECT_EQ(cp.total_bytes(/*writes=*/true), 2 * 5 * kib(32));
+}
+
+}  // namespace
+}  // namespace dasched

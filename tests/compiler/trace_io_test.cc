@@ -1,0 +1,119 @@
+#include "compiler/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.h"
+#include "compiler/trace_builder.h"
+#include "storage/striping.h"
+
+namespace dasched {
+namespace {
+
+CompiledProgram sample_trace() {
+  TraceBuilder tb(2);
+  tb.write(0, 0, 0, kib(64));
+  tb.compute(0, 1'000);
+  tb.end_slot(0);
+  tb.compute(1, 2'500);
+  tb.end_slot(1);
+  tb.read(1, 0, 0, kib(64));
+  tb.read(1, 1, kib(128), kib(32));
+  tb.end_slot(1);
+  return tb.build();
+}
+
+bool programs_equal(const CompiledProgram& a, const CompiledProgram& b) {
+  if (a.num_processes() != b.num_processes() || a.num_slots != b.num_slots) {
+    return false;
+  }
+  for (int p = 0; p < a.num_processes(); ++p) {
+    const auto& sa = a.processes[static_cast<std::size_t>(p)].slots;
+    const auto& sb = b.processes[static_cast<std::size_t>(p)].slots;
+    if (sa.size() != sb.size()) return false;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      if (sa[i].compute != sb[i].compute) return false;
+      if (sa[i].ops.size() != sb[i].ops.size()) return false;
+      for (std::size_t k = 0; k < sa[i].ops.size(); ++k) {
+        const IoOp& x = sa[i].ops[k];
+        const IoOp& y = sb[i].ops[k];
+        if (x.file != y.file || x.offset != y.offset || x.size != y.size ||
+            x.is_write != y.is_write) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const CompiledProgram original = sample_trace();
+  const CompiledProgram loaded = trace_from_string(trace_to_string(original));
+  EXPECT_TRUE(programs_equal(original, loaded));
+}
+
+TEST(TraceIo, OutputIsHumanReadable) {
+  const std::string text = trace_to_string(sample_trace());
+  EXPECT_NE(text.find("dasched-trace 1"), std::string::npos);
+  EXPECT_NE(text.find("processes 2"), std::string::npos);
+  EXPECT_NE(text.find("r 0 0 65536"), std::string::npos);
+  EXPECT_NE(text.find("w 0 0 65536"), std::string::npos);
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored) {
+  const CompiledProgram loaded = trace_from_string(
+      "dasched-trace 1\n"
+      "# a comment\n"
+      "\n"
+      "processes 1\n"
+      "process 0\n"
+      "slot 500\n"
+      "r 0 0 1024\n");
+  EXPECT_EQ(loaded.num_processes(), 1);
+  EXPECT_EQ(loaded.num_slots, 1);
+  EXPECT_EQ(loaded.processes[0].slots[0].ops[0].size, 1'024);
+}
+
+TEST(TraceIo, RejectsBadHeader) {
+  EXPECT_THROW((void)trace_from_string("not-a-trace 1\n"), std::runtime_error);
+  EXPECT_THROW((void)trace_from_string("dasched-trace 9\n"), std::runtime_error);
+  EXPECT_THROW((void)trace_from_string(""), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsOpBeforeSlot) {
+  EXPECT_THROW((void)trace_from_string("dasched-trace 1\n"
+                                       "processes 1\n"
+                                       "process 0\n"
+                                       "r 0 0 1024\n"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, RejectsOutOfRangeProcess) {
+  EXPECT_THROW((void)trace_from_string("dasched-trace 1\n"
+                                       "processes 1\n"
+                                       "process 3\n"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMalformedOp) {
+  EXPECT_THROW((void)trace_from_string("dasched-trace 1\n"
+                                       "processes 1\n"
+                                       "process 0\n"
+                                       "slot 0\n"
+                                       "r 0 0\n"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, LoadedTraceCompiles) {
+  StripingMap striping(4, kib(64));
+  (void)striping.create_file("f0", mib(1));
+  (void)striping.create_file("f1", mib(1));
+  const CompiledProgram loaded = trace_from_string(trace_to_string(sample_trace()));
+  const Compiled c = compile_trace(loaded, striping);
+  EXPECT_EQ(c.program.reads.size(), 2u);
+  // The read of file 0 depends on process 0's slot-0 write.
+  EXPECT_EQ(c.program.reads[0].writer_process, 0);
+}
+
+}  // namespace
+}  // namespace dasched

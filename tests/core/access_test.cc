@@ -1,0 +1,41 @@
+#include "core/access.h"
+
+#include <gtest/gtest.h>
+
+namespace dasched {
+namespace {
+
+TEST(AccessRecord, SlackLengthIsInclusive) {
+  AccessRecord rec;
+  rec.begin = 3;
+  rec.end = 7;
+  EXPECT_EQ(rec.slack_length(), 5);
+  rec.begin = rec.end;
+  EXPECT_EQ(rec.slack_length(), 1);
+}
+
+TEST(AccessRecord, LatestStartAccountsForLength) {
+  AccessRecord rec;
+  rec.begin = 0;
+  rec.end = 10;
+  rec.length = 1;
+  EXPECT_EQ(rec.latest_start(), 10);
+  rec.length = 4;
+  EXPECT_EQ(rec.latest_start(), 7);
+}
+
+TEST(AccessRecord, DefaultsDescribeAnInputRead) {
+  AccessRecord rec;
+  EXPECT_EQ(rec.writer_process, -1);
+  EXPECT_EQ(rec.writer_slot, -1);
+  EXPECT_EQ(rec.length, 1);
+}
+
+TEST(ScheduledAccess, DefaultsAreUnforced) {
+  ScheduledAccess s;
+  EXPECT_FALSE(s.forced);
+  EXPECT_EQ(s.slot, 0);
+}
+
+}  // namespace
+}  // namespace dasched

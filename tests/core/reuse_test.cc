@@ -1,0 +1,103 @@
+// Focused tests of the reuse-factor computation (Eq. 2/3) beyond the paper's
+// worked examples: boundary clipping, window weighting for extended accesses,
+// and incremental group-signature updates.
+#include <gtest/gtest.h>
+
+#include "core/scheduler.h"
+
+namespace dasched {
+namespace {
+
+AccessRecord unit(int id, int process, const Signature& sig, Slot begin,
+                  Slot end, int length = 1) {
+  AccessRecord rec;
+  rec.id = id;
+  rec.process = process;
+  rec.begin = begin;
+  rec.end = end;
+  rec.length = length;
+  rec.sig = sig;
+  rec.original = end;
+  return rec;
+}
+
+TEST(ReuseFactor, EmptyTimelineGivesUniformBaseline) {
+  AccessScheduler sched(8, 100, ScheduleOptions{.delta = 2, .theta = 0});
+  const Signature g = Signature::from_nodes(8, {0});
+  const AccessRecord rec = unit(0, 0, g, 0, 99);
+  // All group signatures are empty: d = 8 - 0 + 1 = 9 for every slot, and
+  // the window has weights 1 + 2*(2/3 + 1/3) = 3.
+  const double expected = (1.0 + 2.0 * (2.0 / 3.0 + 1.0 / 3.0)) / 9.0;
+  EXPECT_NEAR(sched.reuse_factor(rec, 50), expected, 1e-12);
+}
+
+TEST(ReuseFactor, ClipsAtTimelineStart) {
+  AccessScheduler sched(8, 100, ScheduleOptions{.delta = 2, .theta = 0});
+  const Signature g = Signature::from_nodes(8, {0});
+  const AccessRecord rec = unit(0, 0, g, 0, 99);
+  // At slot 0, the k = -1, -2 terms fall off the timeline.
+  const double interior = sched.reuse_factor(rec, 50);
+  const double edge = sched.reuse_factor(rec, 0);
+  EXPECT_LT(edge, interior);
+  const double expected_edge = (1.0 + 2.0 / 3.0 + 1.0 / 3.0) / 9.0;
+  EXPECT_NEAR(edge, expected_edge, 1e-12);
+}
+
+TEST(ReuseFactor, ClipsAtTimelineEnd) {
+  AccessScheduler sched(8, 100, ScheduleOptions{.delta = 2, .theta = 0});
+  const Signature g = Signature::from_nodes(8, {0});
+  const AccessRecord rec = unit(0, 0, g, 0, 99);
+  EXPECT_NEAR(sched.reuse_factor(rec, 99), sched.reuse_factor(rec, 0), 1e-12);
+}
+
+TEST(ReuseFactor, NearbyPlacementRaisesScore) {
+  AccessScheduler sched(8, 100, ScheduleOptions{.delta = 3, .theta = 0});
+  const Signature g = Signature::from_nodes(8, {2, 5});
+  sched.place(unit(0, 1, g, 0, 99), 50);
+  const AccessRecord probe = unit(1, 0, g, 0, 99);
+  EXPECT_GT(sched.reuse_factor(probe, 50), sched.reuse_factor(probe, 20));
+  EXPECT_GT(sched.reuse_factor(probe, 51), sched.reuse_factor(probe, 54));
+}
+
+TEST(ReuseFactor, ExtendedWindowHasFlatTop) {
+  // For a length-3 access, the occupied slots t..t+2 all carry weight 1.
+  AccessScheduler sched(8, 100, ScheduleOptions{.delta = 2, .theta = 0});
+  const Signature g = Signature::from_nodes(8, {1});
+  sched.place(unit(0, 1, g, 0, 99), 50);  // unit access at slot 50
+  const AccessRecord len3 = unit(1, 0, g, 0, 99, 3);
+  // Starting at 48, 49 or 50 all cover slot 50 with weight 1.
+  const double a = sched.reuse_factor(len3, 48);
+  const double b = sched.reuse_factor(len3, 50);
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+TEST(ReuseFactor, PlacedExtendedAccessContributesAllItsSlots) {
+  AccessScheduler sched(8, 200, ScheduleOptions{.delta = 1, .theta = 0});
+  const Signature g = Signature::from_nodes(8, {4});
+  sched.place(unit(0, 1, g, 0, 199, 10), 100);  // occupies 100..109
+  for (Slot s = 100; s < 110; ++s) {
+    EXPECT_TRUE(sched.group_signature(s).test(4));
+  }
+  EXPECT_FALSE(sched.group_signature(99).test(4));
+  EXPECT_FALSE(sched.group_signature(110).test(4));
+}
+
+TEST(ReuseFactor, GroupSignatureAccumulatesAcrossPlacements) {
+  AccessScheduler sched(8, 50, ScheduleOptions{.delta = 1, .theta = 0});
+  sched.place(unit(0, 0, Signature::from_nodes(8, {0}), 0, 49), 10);
+  sched.place(unit(1, 1, Signature::from_nodes(8, {3}), 0, 49), 10);
+  EXPECT_EQ(sched.group_signature(10), Signature::from_nodes(8, {0, 3}));
+}
+
+TEST(ReuseFactor, WeightLadderMatchesEquationThree) {
+  for (int delta : {1, 4, 20, 80}) {
+    for (int j = 0; j <= delta; ++j) {
+      EXPECT_NEAR(AccessScheduler::weight(j, delta),
+                  1.0 - static_cast<double>(j) / (delta + 1), 1e-12);
+    }
+    EXPECT_GT(AccessScheduler::weight(delta, delta), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dasched

@@ -1,0 +1,68 @@
+#include "core/scheduling_table.h"
+
+#include <gtest/gtest.h>
+
+namespace dasched {
+namespace {
+
+ScheduledAccess scheduled(int id, int process, Slot slot, Slot original) {
+  ScheduledAccess s;
+  s.rec.id = id;
+  s.rec.process = process;
+  s.rec.begin = 0;
+  s.rec.end = original;
+  s.rec.original = original;
+  s.rec.sig = Signature(4);
+  s.slot = slot;
+  return s;
+}
+
+TEST(SchedulingTable, GroupsEntriesByProcess) {
+  SchedulingTable table({
+      scheduled(0, 0, 5, 10),
+      scheduled(1, 1, 3, 7),
+      scheduled(2, 0, 1, 2),
+  });
+  EXPECT_EQ(table.num_processes(), 2);
+  EXPECT_EQ(table.total_entries(), 3);
+  EXPECT_EQ(table.entries(0).size(), 2u);
+  EXPECT_EQ(table.entries(1).size(), 1u);
+}
+
+TEST(SchedulingTable, EntriesSortedBySlotThenId) {
+  SchedulingTable table({
+      scheduled(0, 0, 9, 9),
+      scheduled(1, 0, 2, 5),
+      scheduled(2, 0, 2, 6),
+  });
+  const auto& e = table.entries(0);
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e[0].slot, 2);
+  EXPECT_EQ(e[0].rec.id, 1);
+  EXPECT_EQ(e[1].slot, 2);
+  EXPECT_EQ(e[1].rec.id, 2);
+  EXPECT_EQ(e[2].slot, 9);
+}
+
+TEST(SchedulingTable, UnknownProcessReturnsEmpty) {
+  SchedulingTable table({scheduled(0, 0, 1, 1)});
+  EXPECT_TRUE(table.entries(5).empty());
+  EXPECT_TRUE(table.entries(-1).empty());
+}
+
+TEST(SchedulingTable, EmptyTableIsValid) {
+  SchedulingTable table{std::vector<ScheduledAccess>{}};
+  EXPECT_EQ(table.num_processes(), 0);
+  EXPECT_EQ(table.total_entries(), 0);
+  EXPECT_TRUE(table.entries(0).empty());
+}
+
+TEST(SchedulingTable, ToStringMentionsEntries) {
+  SchedulingTable table({scheduled(7, 0, 5, 10)});
+  const std::string dump = table.to_string();
+  EXPECT_NE(dump.find("access#7"), std::string::npos);
+  EXPECT_NE(dump.find("slot 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dasched

@@ -1,0 +1,111 @@
+#include "core/signature.h"
+
+#include <gtest/gtest.h>
+
+namespace dasched {
+namespace {
+
+TEST(Signature, FromBitsRoundTrips) {
+  const Signature s = Signature::from_bits("0110");
+  EXPECT_EQ(s.size(), 4);
+  EXPECT_FALSE(s.test(0));
+  EXPECT_TRUE(s.test(1));
+  EXPECT_TRUE(s.test(2));
+  EXPECT_FALSE(s.test(3));
+  EXPECT_EQ(s.to_string(), "0110");
+}
+
+TEST(Signature, FromBitsRejectsGarbage) {
+  EXPECT_THROW((void)Signature::from_bits("01x0"), std::invalid_argument);
+}
+
+TEST(Signature, FromNodesSetsGivenBits) {
+  const Signature s = Signature::from_nodes(16, {2, 10});
+  EXPECT_EQ(s.popcount(), 2);
+  EXPECT_TRUE(s.test(2));
+  EXPECT_TRUE(s.test(10));
+}
+
+TEST(Signature, SetResetTest) {
+  Signature s(8);
+  s.set(3);
+  EXPECT_TRUE(s.test(3));
+  s.reset(3);
+  EXPECT_FALSE(s.test(3));
+  EXPECT_FALSE(s.any());
+}
+
+TEST(Signature, OrMergesNodeSets) {
+  const Signature a = Signature::from_nodes(8, {0, 1});
+  const Signature b = Signature::from_nodes(8, {1, 2});
+  const Signature c = a | b;
+  EXPECT_EQ(c.nodes(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Signature, WorksBeyondOneWord) {
+  Signature s(100);
+  s.set(0);
+  s.set(63);
+  s.set(64);
+  s.set(99);
+  EXPECT_EQ(s.popcount(), 4);
+  EXPECT_EQ(s.nodes(), (std::vector<int>{0, 63, 64, 99}));
+}
+
+TEST(Signature, EqualityComparesContent) {
+  EXPECT_EQ(Signature::from_bits("0101"), Signature::from_bits("0101"));
+  EXPECT_NE(Signature::from_bits("0101"), Signature::from_bits("0100"));
+}
+
+// --- The distance metric (Sec. IV-B) ---------------------------------------
+
+TEST(Distance, IdenticalSignatures) {
+  // Same set: similarity = popcount, difference = 0 -> d = n - |set|.
+  const Signature g = Signature::from_nodes(16, {2, 10});
+  EXPECT_EQ(similarity(g, g), 2);
+  EXPECT_EQ(difference(g, g), 0);
+  EXPECT_EQ(distance(g, g), 14);
+}
+
+TEST(Distance, DisjointSignaturesOfKBitsEach) {
+  // "if the number of different bits between two signatures is n, the two
+  // data accesses are accessing disjoint I/O nodes"
+  const Signature a = Signature::from_nodes(16, {1, 9});
+  const Signature b = Signature::from_nodes(16, {2, 10});
+  EXPECT_EQ(similarity(a, b), 0);
+  EXPECT_EQ(difference(a, b), 4);
+  EXPECT_EQ(distance(a, b), 20);
+}
+
+TEST(Distance, SupersetWithTwoExtraBits) {
+  // Group contains the access's nodes plus two more: d = n - 2 + 2 = n.
+  const Signature g = Signature::from_nodes(16, {1, 9});
+  const Signature group = Signature::from_nodes(16, {1, 9, 3, 11});
+  EXPECT_EQ(distance(g, group), 16);
+}
+
+TEST(Distance, EmptyGroupSignature) {
+  const Signature g = Signature::from_nodes(16, {1, 9});
+  const Signature empty(16);
+  EXPECT_EQ(distance(g, empty), 16 - 0 + 2);
+}
+
+TEST(Distance, SmallerDistanceMeansBetterReuse) {
+  // Reusing exactly the active set beats adding one node, which beats
+  // touching a disjoint set.
+  const Signature g = Signature::from_nodes(8, {0, 1});
+  const Signature same = Signature::from_nodes(8, {0, 1});
+  const Signature overlap = Signature::from_nodes(8, {1, 2});
+  const Signature disjoint = Signature::from_nodes(8, {4, 5});
+  EXPECT_LT(distance(g, same), distance(g, overlap));
+  EXPECT_LT(distance(g, overlap), distance(g, disjoint));
+}
+
+TEST(Distance, Symmetric) {
+  const Signature a = Signature::from_nodes(8, {0, 3, 5});
+  const Signature b = Signature::from_nodes(8, {3, 6});
+  EXPECT_EQ(distance(a, b), distance(b, a));
+}
+
+}  // namespace
+}  // namespace dasched

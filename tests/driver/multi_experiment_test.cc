@@ -1,0 +1,68 @@
+#include "driver/multi_experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace dasched {
+namespace {
+
+MultiExperimentConfig tiny(std::vector<std::string> apps) {
+  MultiExperimentConfig cfg;
+  cfg.apps = std::move(apps);
+  cfg.scale.num_processes = 4;
+  cfg.scale.factor = 0.1;
+  return cfg;
+}
+
+TEST(MultiExperiment, TwoAppsRunToCompletion) {
+  const MultiExperimentResult r =
+      run_multi_experiment(tiny({"sar", "madbench2"}));
+  ASSERT_EQ(r.exec_times.size(), 2u);
+  EXPECT_GT(r.exec_times[0], 0);
+  EXPECT_GT(r.exec_times[1], 0);
+  EXPECT_EQ(r.makespan, std::max(r.exec_times[0], r.exec_times[1]));
+  EXPECT_GT(r.energy_j, 0.0);
+}
+
+TEST(MultiExperiment, SingleAppMatchesRegularExperiment) {
+  const MultiExperimentResult multi = run_multi_experiment(tiny({"sar"}));
+  ExperimentConfig cfg;
+  cfg.app = "sar";
+  cfg.scale.num_processes = 4;
+  cfg.scale.factor = 0.1;
+  const ExperimentResult single = run_experiment(cfg);
+  EXPECT_EQ(multi.exec_times[0], single.exec_time);
+  EXPECT_DOUBLE_EQ(multi.energy_j, single.energy_j);
+}
+
+TEST(MultiExperiment, ContentionSlowsBothApplications) {
+  const MultiExperimentResult alone_a = run_multi_experiment(tiny({"sar"}));
+  const MultiExperimentResult alone_b =
+      run_multi_experiment(tiny({"madbench2"}));
+  const MultiExperimentResult both =
+      run_multi_experiment(tiny({"sar", "madbench2"}));
+  EXPECT_GE(both.exec_times[0], alone_a.exec_times[0]);
+  EXPECT_GE(both.exec_times[1], alone_b.exec_times[0]);
+}
+
+TEST(MultiExperiment, SchemeRunsOnBothApps) {
+  MultiExperimentConfig cfg = tiny({"sar", "madbench2"});
+  cfg.use_scheme = true;
+  const MultiExperimentResult r = run_multi_experiment(cfg);
+  ASSERT_EQ(r.runtime.size(), 2u);
+  EXPECT_GT(r.runtime[0].prefetches + r.runtime[1].prefetches, 0);
+}
+
+TEST(MultiExperiment, WorksUnderAPolicy) {
+  MultiExperimentConfig cfg = tiny({"sar", "madbench2"});
+  cfg.policy = PolicyKind::kHistory;
+  const MultiExperimentResult r = run_multi_experiment(cfg);
+  EXPECT_GT(r.makespan, 0);
+}
+
+TEST(MultiExperiment, EmptyAppListThrows) {
+  EXPECT_THROW((void)run_multi_experiment(MultiExperimentConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dasched

@@ -1,0 +1,102 @@
+// Result-shape regression tests: cheap, scaled-down versions of the paper's
+// headline comparisons.  These guard the *direction* of every claim the
+// benches reproduce — if a refactor flips one of these, the reproduction is
+// broken even if all unit tests still pass.
+#include <gtest/gtest.h>
+
+#include "driver/experiment.h"
+
+namespace dasched {
+namespace {
+
+class ShapeTest : public ::testing::Test {
+ protected:
+  static ExperimentConfig config(const std::string& app, PolicyKind policy,
+                                 bool scheme) {
+    ExperimentConfig cfg;
+    cfg.app = app;
+    cfg.scale.num_processes = 8;
+    cfg.scale.factor = 0.3;
+    cfg.policy = policy;
+    cfg.use_scheme = scheme;
+    return cfg;
+  }
+
+  static const ExperimentResult& cached(const std::string& app,
+                                        PolicyKind policy, bool scheme) {
+    static std::map<std::string, ExperimentResult> cache;
+    const std::string key =
+        app + "/" + to_string(policy) + (scheme ? "/s" : "/b");
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      it = cache.emplace(key, run_experiment(config(app, policy, scheme)))
+               .first;
+    }
+    return it->second;
+  }
+};
+
+TEST_F(ShapeTest, HistorySavesEnergyWithoutScheme) {
+  // Fig. 12(c): the history-based strategy is the strongest baseline.
+  const auto& base = cached("madbench2", PolicyKind::kNone, false);
+  const auto& hist = cached("madbench2", PolicyKind::kHistory, false);
+  EXPECT_LT(normalized_energy(hist, base), 0.97);
+}
+
+TEST_F(ShapeTest, MultiSpeedBeatsSpinDownOnShortIdleWorkload) {
+  // Sec. II: multi-speed disks exploit the short idle periods spin-down
+  // disks cannot.
+  const auto& base = cached("madbench2", PolicyKind::kNone, false);
+  const auto& hist = cached("madbench2", PolicyKind::kHistory, false);
+  const auto& simple = cached("madbench2", PolicyKind::kSimple, false);
+  EXPECT_LT(normalized_energy(hist, base), normalized_energy(simple, base));
+}
+
+TEST_F(ShapeTest, SchemeImprovesHistoryEnergy) {
+  // Fig. 12(d) vs 12(c) on the phased workload.
+  const auto& without = cached("madbench2", PolicyKind::kHistory, false);
+  const auto& with = cached("madbench2", PolicyKind::kHistory, true);
+  EXPECT_LT(with.energy_j, without.energy_j * 1.02);
+}
+
+TEST_F(ShapeTest, SchemeReducesSimpleDegradation) {
+  // Fig. 13(b) vs 13(a): buffer hits absorb spin-up stalls.
+  const auto& base = cached("madbench2", PolicyKind::kNone, false);
+  const auto& without = cached("madbench2", PolicyKind::kSimple, false);
+  const auto& with = cached("madbench2", PolicyKind::kSimple, true);
+  EXPECT_LT(degradation(with, base), degradation(without, base) + 0.01);
+}
+
+TEST_F(ShapeTest, SimpleDegradesMostAmongPolicies) {
+  // Fig. 13(a): the simple strategy has the worst performance penalty.
+  const auto& base = cached("madbench2", PolicyKind::kNone, false);
+  const double simple =
+      degradation(cached("madbench2", PolicyKind::kSimple, false), base);
+  const double history =
+      degradation(cached("madbench2", PolicyKind::kHistory, false), base);
+  const double prediction =
+      degradation(cached("madbench2", PolicyKind::kPrediction, false), base);
+  EXPECT_GE(simple, history - 0.01);
+  EXPECT_GE(simple, prediction - 0.01);
+}
+
+TEST_F(ShapeTest, SchemeLengthensIdlePeriods) {
+  // Fig. 12(b) vs 12(a): with the scheme, less CDF mass sits below 500 ms.
+  const auto& without = cached("sar", PolicyKind::kNone, false);
+  const auto& with = cached("sar", PolicyKind::kNone, true);
+  const double f_without =
+      without.storage.idle_periods.fraction_at_or_below(500.0);
+  const double f_with = with.storage.idle_periods.fraction_at_or_below(500.0);
+  EXPECT_LE(f_with, f_without + 0.02);
+}
+
+TEST_F(ShapeTest, SchemePrefetchesMeaningfulFraction) {
+  const auto& with = cached("sar", PolicyKind::kNone, true);
+  const auto total = with.runtime.buffer_hits + with.runtime.in_flight_hits +
+                     with.runtime.direct_reads;
+  EXPECT_GT(static_cast<double>(with.runtime.buffer_hits),
+            0.1 * static_cast<double>(total));
+}
+
+}  // namespace
+}  // namespace dasched

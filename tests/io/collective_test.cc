@@ -1,0 +1,146 @@
+#include "io/collective.h"
+
+#include <gtest/gtest.h>
+
+namespace dasched {
+namespace {
+
+class CollectiveTest : public ::testing::Test {
+ protected:
+  CollectiveTest() : storage_(sim_, config()) {
+    file_ = storage_.create_file("data", mib(64));
+  }
+
+  static StorageConfig config() {
+    StorageConfig cfg;
+    cfg.num_io_nodes = 4;
+    cfg.node.prefetch_depth = 0;
+    return cfg;
+  }
+
+  Simulator sim_;
+  StorageSystem storage_;
+  FileId file_;
+};
+
+TEST_F(CollectiveTest, CoalescesAdjacentRequests) {
+  CollectiveIo cio(sim_, storage_);
+  const auto ranges = cio.coalesce({
+      {0, 0, kib(64)},
+      {0, kib(64), kib(64)},
+      {0, kib(128), kib(64)},
+  });
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].offset, 0);
+  EXPECT_EQ(ranges[0].size, kib(192));
+}
+
+TEST_F(CollectiveTest, SievesThroughSmallHoles) {
+  CollectiveConfig cfg;
+  cfg.sieve_hole = kib(32);
+  CollectiveIo cio(sim_, storage_, cfg);
+  const auto ranges = cio.coalesce({
+      {0, 0, kib(16)},
+      {0, kib(40), kib(16)},  // 24K hole <= 32K -> sieved
+  });
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].size, kib(56));
+}
+
+TEST_F(CollectiveTest, LargeHolesSplitRanges) {
+  CollectiveConfig cfg;
+  cfg.sieve_hole = kib(32);
+  CollectiveIo cio(sim_, storage_, cfg);
+  const auto ranges = cio.coalesce({
+      {0, 0, kib(16)},
+      {0, kib(128), kib(16)},  // 112K hole > 32K
+  });
+  EXPECT_EQ(ranges.size(), 2u);
+}
+
+TEST_F(CollectiveTest, DistinctFilesNeverMerge) {
+  Simulator sim;
+  StorageSystem storage(sim, config());
+  (void)storage.create_file("a", mib(1));
+  (void)storage.create_file("b", mib(1));
+  CollectiveIo cio(sim, storage);
+  const auto ranges = cio.coalesce({{0, 0, kib(64)}, {1, kib(64), kib(64)}});
+  EXPECT_EQ(ranges.size(), 2u);
+}
+
+TEST_F(CollectiveTest, MaxRangeBoundsTransfers) {
+  CollectiveConfig cfg;
+  cfg.max_range = kib(128);
+  CollectiveIo cio(sim_, storage_, cfg);
+  std::vector<CollectiveIo::Request> reqs;
+  for (int i = 0; i < 8; ++i) {
+    reqs.push_back({0, static_cast<Bytes>(i) * kib(64), kib(64)});
+  }
+  const auto ranges = cio.coalesce(reqs);
+  EXPECT_EQ(ranges.size(), 4u);
+  for (const auto& r : ranges) EXPECT_LE(r.size, kib(128));
+}
+
+TEST_F(CollectiveTest, UnsortedInterleavedInputHandled) {
+  CollectiveIo cio(sim_, storage_);
+  const auto ranges = cio.coalesce({
+      {0, kib(128), kib(64)},
+      {0, 0, kib(64)},
+      {0, kib(64), kib(64)},
+  });
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].size, kib(192));
+}
+
+TEST_F(CollectiveTest, ReadAllCompletesAndCountsStats) {
+  CollectiveIo cio(sim_, storage_);
+  bool done = false;
+  cio.read_all({{file_, 0, kib(64)}, {file_, kib(64), kib(64)}},
+               [&] { done = true; });
+  sim_.run();
+  EXPECT_TRUE(done);
+  const CollectiveStats& s = cio.stats();
+  EXPECT_EQ(s.collective_calls, 1);
+  EXPECT_EQ(s.member_requests, 2);
+  EXPECT_EQ(s.coalesced_ranges, 1);
+  EXPECT_EQ(s.requested_bytes, kib(128));
+  EXPECT_EQ(s.transferred_bytes, kib(128));
+  EXPECT_EQ(s.sieved_bytes, 0);
+}
+
+TEST_F(CollectiveTest, SievedBytesAccountedAsWaste) {
+  CollectiveConfig cfg;
+  cfg.sieve_hole = kib(64);
+  CollectiveIo cio(sim_, storage_, cfg);
+  cio.read_all({{file_, 0, kib(16)}, {file_, kib(48), kib(16)}}, {});
+  sim_.run();
+  EXPECT_EQ(cio.stats().sieved_bytes, kib(32));
+  EXPECT_EQ(cio.stats().transferred_bytes, kib(64));
+}
+
+TEST_F(CollectiveTest, FewerDiskRequestsThanIndependentReads) {
+  // 32 interleaved 16K requests -> collective turns them into few large
+  // transfers; independent reads would issue one block fill each.
+  CollectiveIo cio(sim_, storage_);
+  std::vector<CollectiveIo::Request> reqs;
+  for (int i = 0; i < 32; ++i) {
+    reqs.push_back({file_, static_cast<Bytes>(i) * kib(32), kib(16)});
+  }
+  cio.read_all(reqs, {});
+  sim_.run();
+  EXPECT_LE(cio.stats().coalesced_ranges, 2);
+  const StorageStats after = storage_.finalize();
+  // One coalesced range of <=1 MiB -> at most 16 per-stripe disk requests.
+  EXPECT_LE(after.disk_requests, 17);
+}
+
+TEST_F(CollectiveTest, EmptyCallCompletesImmediately) {
+  CollectiveIo cio(sim_, storage_);
+  bool done = false;
+  cio.read_all({}, [&] { done = true; });
+  sim_.run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace dasched

@@ -1,0 +1,93 @@
+#include "io/global_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace dasched {
+namespace {
+
+TEST(GlobalBuffer, ReserveTracksCapacity) {
+  GlobalBuffer buf(kib(128));
+  EXPECT_TRUE(buf.try_reserve(0, kib(64)));
+  EXPECT_TRUE(buf.try_reserve(1, kib(64)));
+  EXPECT_FALSE(buf.try_reserve(2, kib(64)));
+  EXPECT_EQ(buf.used(), kib(128));
+  EXPECT_EQ(buf.stats().full_rejections, 1);
+}
+
+TEST(GlobalBuffer, LifecycleAbsentInFlightReadyDone) {
+  GlobalBuffer buf(kib(128));
+  EXPECT_EQ(buf.state(5), BufferEntryState::kAbsent);
+  buf.try_reserve(5, kib(64));
+  EXPECT_EQ(buf.state(5), BufferEntryState::kInFlight);
+  buf.mark_ready(5);
+  EXPECT_EQ(buf.state(5), BufferEntryState::kReady);
+  buf.consume(5);
+  EXPECT_EQ(buf.state(5), BufferEntryState::kDone);
+  EXPECT_EQ(buf.used(), 0);
+}
+
+TEST(GlobalBuffer, ConsumeWakesSpaceWaiters) {
+  GlobalBuffer buf(kib(64));
+  buf.try_reserve(0, kib(64));
+  buf.mark_ready(0);
+  int woken = 0;
+  buf.wait_space([&] { ++woken; });
+  buf.wait_space([&] { ++woken; });
+  buf.consume(0);
+  EXPECT_EQ(woken, 2);
+}
+
+TEST(GlobalBuffer, ReadyWaiterFiresOnArrival) {
+  GlobalBuffer buf(kib(128));
+  buf.try_reserve(3, kib(64));
+  bool fired = false;
+  buf.wait_ready(3, [&] { fired = true; });
+  EXPECT_FALSE(fired);
+  buf.mark_ready(3);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(buf.stats().consumed_in_flight, 1);
+}
+
+TEST(GlobalBuffer, OvertakenPrefetchReclaimedOnLanding) {
+  GlobalBuffer buf(kib(64));
+  buf.try_reserve(7, kib(64));
+  buf.mark_done(7);  // the app fetched the data itself
+  int woken = 0;
+  buf.wait_space([&] { ++woken; });
+  buf.mark_ready(7);  // the stale prefetch lands
+  EXPECT_EQ(buf.used(), 0);
+  EXPECT_EQ(woken, 1);
+  EXPECT_EQ(buf.stats().wasted, 1);
+  EXPECT_EQ(buf.state(7), BufferEntryState::kDone);
+}
+
+TEST(GlobalBuffer, MarkDoneWithoutReservation) {
+  GlobalBuffer buf(kib(64));
+  buf.mark_done(9);
+  EXPECT_TRUE(buf.is_done(9));
+  EXPECT_EQ(buf.state(9), BufferEntryState::kDone);
+}
+
+TEST(GlobalBuffer, PeakBytesTracked) {
+  GlobalBuffer buf(kib(192));
+  buf.try_reserve(0, kib(64));
+  buf.try_reserve(1, kib(128));
+  buf.mark_ready(0);
+  buf.consume(0);
+  EXPECT_EQ(buf.stats().peak_bytes, kib(192));
+  EXPECT_EQ(buf.used(), kib(128));
+}
+
+TEST(GlobalBuffer, StatsCountReservationsAndConsumes) {
+  GlobalBuffer buf(mib(1));
+  for (int i = 0; i < 5; ++i) {
+    buf.try_reserve(i, kib(64));
+    buf.mark_ready(i);
+    buf.consume(i);
+  }
+  EXPECT_EQ(buf.stats().reservations, 5);
+  EXPECT_EQ(buf.stats().consumed, 5);
+}
+
+}  // namespace
+}  // namespace dasched

@@ -1,0 +1,56 @@
+#include "io/mpi_io.h"
+
+#include <gtest/gtest.h>
+
+namespace dasched {
+namespace {
+
+TEST(MpiIo, OpenCreatesFileOnce) {
+  Simulator sim;
+  StorageSystem storage(sim, StorageConfig{});
+  MpiIo io(storage);
+  const FileId a = io.file_open("matrix.dat", mib(4));
+  const FileId b = io.file_open("matrix.dat", mib(4));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(storage.striping().num_files(), 1);
+}
+
+TEST(MpiIo, DistinctNamesGetDistinctHandles) {
+  Simulator sim;
+  StorageSystem storage(sim, StorageConfig{});
+  MpiIo io(storage);
+  EXPECT_NE(io.file_open("U", mib(1)), io.file_open("V", mib(1)));
+}
+
+TEST(MpiIo, ReadAtCompletes) {
+  Simulator sim;
+  StorageSystem storage(sim, StorageConfig{});
+  MpiIo io(storage);
+  const FileId f = io.file_open("data", mib(4));
+  bool done = false;
+  io.file_read_at(f, 0, kib(64), [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(MpiIo, WriteAtCompletes) {
+  Simulator sim;
+  StorageSystem storage(sim, StorageConfig{});
+  MpiIo io(storage);
+  const FileId f = io.file_open("data", mib(4));
+  bool done = false;
+  io.file_write_at(f, kib(64), kib(64), [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(MpiIo, CloseIsANoop) {
+  Simulator sim;
+  StorageSystem storage(sim, StorageConfig{});
+  MpiIo io(storage);
+  const FileId f = io.file_open("data", mib(1));
+  EXPECT_NO_FATAL_FAILURE(io.file_close(f));
+}
+
+}  // namespace
+}  // namespace dasched

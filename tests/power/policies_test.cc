@@ -1,0 +1,231 @@
+// Behavioral tests of the four power-saving mechanisms against a synthetic
+// request stream on a single disk.
+#include "power/policies.h"
+
+#include <gtest/gtest.h>
+
+#include "disk/disk.h"
+#include "sim/simulator.h"
+
+namespace dasched {
+namespace {
+
+/// A disk + policy rig that replays a request trace of (time, offset) reads.
+class PolicyRig {
+ public:
+  PolicyRig(PolicyKind kind, PolicyConfig cfg = {}) {
+    DiskParams params = needs_multi_speed(kind)
+                            ? DiskParams::paper_multispeed()
+                            : DiskParams::paper_defaults();
+    disk_ = std::make_unique<Disk>(sim_, params);
+    policy_ = make_policy(kind, cfg);
+    disk_->set_policy(policy_.get());
+  }
+
+  void read_at(SimTime when, Bytes offset) {
+    horizon_ = std::max(horizon_, when + sec(120.0));
+    sim_.schedule_at(when, [this, offset] {
+      disk_->submit(DiskRequest{offset, kib(64), false, false, {}});
+    });
+  }
+
+  /// Dense burst of reads every `gap` starting at `start`.
+  void burst(SimTime start, int count, SimTime gap) {
+    for (int i = 0; i < count; ++i) {
+      read_at(start + i * gap, i * kib(64));
+    }
+  }
+
+  /// Runs to a horizon past the last request — policy watchdog timers keep
+  /// the event queue alive indefinitely, so an unbounded run() never drains.
+  const DiskStats& run() {
+    sim_.schedule_at(horizon_, [] {});  // carry the clock to the horizon
+    sim_.run(horizon_);
+    return disk_->finalize();
+  }
+
+  Simulator sim_;
+  std::unique_ptr<Disk> disk_;
+  std::unique_ptr<PowerPolicy> policy_;
+  SimTime horizon_ = sec(120.0);
+};
+
+double idle_baseline_j(SimTime duration) { return 17.1 * to_sec(duration); }
+
+TEST(SimpleSpinDown, SpinsDownAfterTimeout) {
+  PolicyRig rig(PolicyKind::kSimple);
+  rig.burst(0, 10, msec(5.0));
+  rig.horizon_ = sec(200.0);
+  const DiskStats& s = rig.run();
+  EXPECT_EQ(s.spin_downs, 1);
+  EXPECT_GT(s.time_in_standby, sec(150.0));
+}
+
+TEST(SimpleSpinDown, DoesNotSpinDownWithinTimeout) {
+  PolicyRig rig(PolicyKind::kSimple);
+  // Gaps of 40 ms < 50 ms timeout: no spin-down during the burst (the one
+  // allowed below is the trailing idle stretch after the last request).
+  rig.burst(0, 200, msec(40.0));
+  const DiskStats& s = rig.run();
+  EXPECT_LE(s.spin_downs, 1);
+}
+
+TEST(SimpleSpinDown, CooldownPreventsRollingBlackout) {
+  PolicyConfig cfg;
+  cfg.simple_cooldown = sec(30.0);
+  PolicyRig rig(PolicyKind::kSimple, cfg);
+  // Requests arriving every 100 ms would re-trigger the 50 ms timeout after
+  // every recovery; with the cooldown the spin-down count stays tiny.
+  rig.burst(0, 600, msec(100.0));
+  const DiskStats& s = rig.run();
+  EXPECT_LE(s.spin_downs, 3);
+}
+
+TEST(SimpleSpinDown, EnergySavedOnLongIdle) {
+  PolicyRig rig(PolicyKind::kSimple);
+  rig.read_at(0, 0);
+  rig.read_at(sec(200.0), kib(64));
+  const DiskStats& s = rig.run();
+  EXPECT_LT(s.energy_j, idle_baseline_j(sec(200.0)));
+}
+
+TEST(PredictionSpinDown, BreakEvenMatchesHandComputation) {
+  Simulator sim;
+  Disk disk(sim, DiskParams::paper_defaults());
+  PredictionSpinDown policy;
+  policy.attach(disk);
+  // (10*10 + 44.8*16 - 7.2*26) / (17.1 - 7.2) = 63.6 s.
+  EXPECT_NEAR(to_sec(policy.break_even()), 63.6, 0.1);
+}
+
+TEST(PredictionSpinDown, IgnoresShortIdlePeriods) {
+  PolicyRig rig(PolicyKind::kPrediction);
+  rig.burst(0, 100, msec(200.0));
+  rig.horizon_ = sec(40.0);  // stop before the trailing idle gets long
+  const DiskStats& s = rig.run();
+  EXPECT_EQ(s.spin_downs, 0);
+}
+
+TEST(PredictionSpinDown, SpinsDownDuringLongPhaseViaRecheck) {
+  PolicyRig rig(PolicyKind::kPrediction);
+  rig.burst(0, 20, msec(10.0));
+  rig.read_at(sec(400.0), 0);  // a 400 s phase gap
+  const DiskStats& s = rig.run();
+  EXPECT_GE(s.spin_downs, 1);
+  EXPECT_GT(s.time_in_standby, sec(100.0));
+}
+
+TEST(PredictionSpinDown, CommitsImmediatelyAfterRepeatedLongIdles) {
+  PolicyRig rig(PolicyKind::kPrediction);
+  // Three long gaps in a row train the predictor; by the third idle period
+  // the policy should commit at idle begin and standby promptly.
+  rig.read_at(0, 0);
+  rig.read_at(sec(200.0), kib(64));
+  rig.read_at(sec(400.0), kib(128));
+  rig.read_at(sec(600.0), kib(192));
+  const DiskStats& s = rig.run();
+  EXPECT_GE(s.spin_downs, 2);
+}
+
+TEST(HistoryMultiSpeed, ChoosesLowSpeedForLongIdleness) {
+  Simulator sim;
+  Disk disk(sim, DiskParams::paper_multispeed());
+  HistoryMultiSpeed policy;
+  policy.attach(disk);
+  EXPECT_EQ(policy.choose_rpm(sec(120.0)), 3'600);
+}
+
+TEST(HistoryMultiSpeed, KeepsMaxSpeedForTinyIdleness) {
+  Simulator sim;
+  Disk disk(sim, DiskParams::paper_multispeed());
+  HistoryMultiSpeed policy;
+  policy.attach(disk);
+  EXPECT_EQ(policy.choose_rpm(msec(100.0)), 12'000);
+}
+
+TEST(HistoryMultiSpeed, IntermediateIdlenessPicksIntermediateOrLowSpeed) {
+  Simulator sim;
+  Disk disk(sim, DiskParams::paper_multispeed());
+  HistoryMultiSpeed policy;
+  policy.attach(disk);
+  const Rpm r = policy.choose_rpm(sec(4.0));
+  EXPECT_LT(r, 12'000);
+  EXPECT_GE(r, 3'600);
+}
+
+TEST(HistoryMultiSpeed, SlowsDownDuringMediumGaps) {
+  PolicyRig rig(PolicyKind::kHistory);
+  // Bursts separated by 20 s medium gaps.
+  for (int phase = 0; phase < 5; ++phase) {
+    rig.burst(phase * sec(22.0), 50, msec(10.0));
+  }
+  rig.horizon_ = sec(100.0);
+  const DiskStats& s = rig.run();
+  EXPECT_GT(s.rpm_changes, 0);
+  EXPECT_GT(s.time_below_max_rpm, sec(20.0));
+  EXPECT_LT(s.energy_j, idle_baseline_j(sec(100.0)));
+}
+
+TEST(HistoryMultiSpeed, NeverSpinsDownCompletely) {
+  PolicyRig rig(PolicyKind::kHistory);
+  rig.read_at(0, 0);
+  rig.read_at(sec(300.0), kib(64));
+  const DiskStats& s = rig.run();
+  EXPECT_EQ(s.spin_downs, 0);
+  EXPECT_GT(s.rpm_changes, 0);
+}
+
+TEST(StaggeredMultiSpeed, WalksDownTheLadderDuringIdleness) {
+  PolicyRig rig(PolicyKind::kStaggered);
+  rig.read_at(0, 0);
+  rig.sim_.run(sec(30.0));
+  // After 30 s of idleness the disk has walked all the way down.  The walk
+  // batches queued steps, so the transition count may be below 7.
+  EXPECT_EQ(rig.disk_->current_rpm(), 3'600);
+  EXPECT_GE(rig.disk_->finalize().rpm_changes, 3);
+}
+
+TEST(StaggeredMultiSpeed, ReturnsToFullSpeedOnArrival) {
+  PolicyRig rig(PolicyKind::kStaggered);
+  rig.read_at(0, 0);
+  bool done = false;
+  rig.sim_.schedule_at(sec(30.0), [&] {
+    rig.disk_->submit(DiskRequest{kib(64), kib(64), false, false,
+                                  [&] { done = true; }});
+  });
+  rig.sim_.run(sec(33.0));  // arrival at 30 s + recovery
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rig.disk_->current_rpm(), 12'000);
+}
+
+TEST(StaggeredMultiSpeed, StepTimerDoesNotFireDuringDenseTraffic) {
+  PolicyRig rig(PolicyKind::kStaggered);
+  rig.burst(0, 500, msec(20.0));
+  rig.horizon_ = sec(10.0);  // the burst itself
+  const DiskStats& s = rig.run();
+  EXPECT_EQ(s.rpm_changes, 0);
+}
+
+TEST(PolicyFactory, NamesAndKindsRoundTrip) {
+  EXPECT_STREQ(to_string(PolicyKind::kNone), "default");
+  EXPECT_STREQ(to_string(PolicyKind::kSimple), "simple");
+  EXPECT_STREQ(to_string(PolicyKind::kPrediction), "prediction");
+  EXPECT_STREQ(to_string(PolicyKind::kHistory), "history");
+  EXPECT_STREQ(to_string(PolicyKind::kStaggered), "staggered");
+  EXPECT_EQ(make_policy(PolicyKind::kNone), nullptr);
+  EXPECT_EQ(make_policy(PolicyKind::kSimple)->name(), "simple");
+  EXPECT_EQ(make_policy(PolicyKind::kPrediction)->name(), "prediction");
+  EXPECT_EQ(make_policy(PolicyKind::kHistory)->name(), "history");
+  EXPECT_EQ(make_policy(PolicyKind::kStaggered)->name(), "staggered");
+}
+
+TEST(PolicyFactory, MultiSpeedRequirement) {
+  EXPECT_FALSE(needs_multi_speed(PolicyKind::kNone));
+  EXPECT_FALSE(needs_multi_speed(PolicyKind::kSimple));
+  EXPECT_FALSE(needs_multi_speed(PolicyKind::kPrediction));
+  EXPECT_TRUE(needs_multi_speed(PolicyKind::kHistory));
+  EXPECT_TRUE(needs_multi_speed(PolicyKind::kStaggered));
+}
+
+}  // namespace
+}  // namespace dasched

@@ -1,0 +1,130 @@
+#include "storage/io_node.h"
+
+#include <gtest/gtest.h>
+
+namespace dasched {
+namespace {
+
+IoNodeConfig small_config() {
+  IoNodeConfig cfg;
+  cfg.cache_capacity = mib(1);
+  cfg.prefetch_depth = 0;
+  return cfg;
+}
+
+TEST(IoNode, ReadMissGoesToDisk) {
+  Simulator sim;
+  IoNode node(sim, small_config(), 0, 1);
+  bool done = false;
+  node.read(0, kib(64), [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  IoNodeStats s = node.finalize();
+  EXPECT_EQ(s.cache.misses, 1);
+  EXPECT_EQ(s.disk_requests, 1);
+}
+
+TEST(IoNode, SecondReadHitsCacheWithoutDisk) {
+  Simulator sim;
+  IoNode node(sim, small_config(), 0, 1);
+  node.read(0, kib(64), {});
+  sim.run();
+  SimTime start = sim.now();
+  SimTime done_at = 0;
+  node.read(0, kib(64), [&] { done_at = sim.now(); });
+  sim.run();
+  IoNodeStats s = node.finalize();
+  EXPECT_EQ(s.cache.hits, 1);
+  EXPECT_EQ(s.disk_requests, 1);  // still just the first fill
+  EXPECT_EQ(done_at - start, small_config().cache_hit_latency);
+}
+
+TEST(IoNode, MultiBlockReadJoinsAllPieces) {
+  Simulator sim;
+  IoNode node(sim, small_config(), 0, 1);
+  bool done = false;
+  node.read(0, kib(64) * 4, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  IoNodeStats s = node.finalize();
+  EXPECT_EQ(s.cache.misses, 4);
+  EXPECT_EQ(s.disk_requests, 4);
+}
+
+TEST(IoNode, SequentialPrefetchWarmsFollowingBlocks) {
+  Simulator sim;
+  IoNodeConfig cfg = small_config();
+  cfg.prefetch_depth = 2;
+  IoNode node(sim, cfg, 0, 1);
+  node.read(0, kib(64), {});
+  sim.run();
+  // Blocks 1 and 2 were prefetched: reading them now hits the cache.
+  node.read(kib(64), kib(128), {});
+  sim.run();
+  IoNodeStats s = node.finalize();
+  EXPECT_EQ(s.cache.hits, 2);
+  EXPECT_EQ(s.cache.misses, 1);
+}
+
+TEST(IoNode, WriteAcksEarlyAndDrainsInBackground) {
+  Simulator sim;
+  IoNode node(sim, small_config(), 0, 1);
+  SimTime ack = 0;
+  node.write(0, kib(64), [&] { ack = sim.now(); });
+  sim.run();
+  EXPECT_EQ(ack, small_config().cache_hit_latency);
+  IoNodeStats s = node.finalize();
+  EXPECT_EQ(s.disk_requests, 1);  // the background flush still happened
+}
+
+TEST(IoNode, WriteMakesBlockCacheResident) {
+  Simulator sim;
+  IoNode node(sim, small_config(), 0, 1);
+  node.write(0, kib(64), {});
+  sim.run();
+  node.read(0, kib(64), {});
+  sim.run();
+  IoNodeStats s = node.finalize();
+  EXPECT_EQ(s.cache.hits, 1);
+}
+
+TEST(IoNode, Raid5NodeFansWritesToTwoDisks) {
+  Simulator sim;
+  IoNodeConfig cfg = small_config();
+  cfg.num_disks = 4;
+  cfg.raid = RaidLevel::kRaid5;
+  IoNode node(sim, cfg, 0, 1);
+  node.write(0, kib(64), {});
+  sim.run();
+  IoNodeStats s = node.finalize();
+  EXPECT_EQ(s.disk_requests, 2);  // data + parity
+}
+
+TEST(IoNode, PolicyInstalledOnEveryDisk) {
+  Simulator sim;
+  IoNodeConfig cfg = small_config();
+  cfg.num_disks = 2;
+  cfg.policy = PolicyKind::kSimple;
+  IoNode node(sim, cfg, 0, 1);
+  node.read(0, kib(64), {});
+  node.read(kib(64), kib(64), {});
+  sim.schedule_at(sec(120.0), [] {});
+  sim.run();
+  IoNodeStats s = node.finalize();
+  // Both disks idled past the timeout and spun down.
+  EXPECT_EQ(s.spin_downs, 2);
+}
+
+TEST(IoNode, EnergyAggregatesAcrossDisks) {
+  Simulator sim;
+  IoNodeConfig cfg = small_config();
+  cfg.num_disks = 3;
+  IoNode node(sim, cfg, 0, 1);
+  sim.schedule_at(sec(10.0), [] {});
+  sim.run();
+  IoNodeStats s = node.finalize();
+  EXPECT_NEAR(s.energy_j, 3 * 171.0, 2.0);
+}
+
+}  // namespace
+}  // namespace dasched

@@ -1,0 +1,140 @@
+#include "storage/raid.h"
+
+#include <gtest/gtest.h>
+
+namespace dasched {
+namespace {
+
+TEST(Raid0, SingleDiskPassthrough) {
+  RaidLayout raid(RaidLevel::kRaid0, 1, kib(64));
+  const auto ops = raid.map(kib(100), kib(10), false);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].disk, 0);
+  EXPECT_EQ(ops[0].offset, kib(100));
+  EXPECT_EQ(ops[0].size, kib(10));
+}
+
+TEST(Raid0, StripesAcrossDisks) {
+  RaidLayout raid(RaidLevel::kRaid0, 4, kib(64));
+  const auto ops = raid.map(0, kib(256), false);
+  ASSERT_EQ(ops.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(ops[static_cast<std::size_t>(i)].disk, i);
+    EXPECT_EQ(ops[static_cast<std::size_t>(i)].offset, 0);
+  }
+}
+
+TEST(Raid0, SecondRowAdvancesPerDiskOffset) {
+  RaidLayout raid(RaidLevel::kRaid0, 2, kib(64));
+  const auto ops = raid.map(kib(128), kib(64), false);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].disk, 0);
+  EXPECT_EQ(ops[0].offset, kib(64));
+}
+
+TEST(Raid10, WritesHitBothMirrors) {
+  RaidLayout raid(RaidLevel::kRaid10, 4, kib(64));
+  const auto ops = raid.map(0, kib(64), true);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].disk, 0);
+  EXPECT_EQ(ops[1].disk, 1);
+  EXPECT_TRUE(ops[0].is_write);
+  EXPECT_TRUE(ops[1].is_write);
+}
+
+TEST(Raid10, ReadsAlternateBetweenMirrors) {
+  RaidLayout raid(RaidLevel::kRaid10, 2, kib(64));
+  const auto a = raid.map(0, kib(64), false);
+  const auto b = raid.map(0, kib(64), false);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_NE(a[0].disk, b[0].disk);
+}
+
+TEST(Raid5, ReadTouchesOnlyDataDisk) {
+  RaidLayout raid(RaidLevel::kRaid5, 4, kib(64));
+  const auto ops = raid.map(0, kib(64), false);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_FALSE(ops[0].is_write);
+}
+
+TEST(Raid5, WriteAddsParityOp) {
+  RaidLayout raid(RaidLevel::kRaid5, 4, kib(64));
+  const auto ops = raid.map(0, kib(64), true);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_NE(ops[0].disk, ops[1].disk);
+}
+
+TEST(Raid5, ParityRotatesAcrossRows) {
+  RaidLayout raid(RaidLevel::kRaid5, 4, kib(64));
+  // Row r has parity on disk r % 4; data chunk 0 of each row never lands on
+  // the parity disk.
+  for (int row = 0; row < 8; ++row) {
+    const Bytes chunk0 = static_cast<Bytes>(row) * 3 * kib(64);
+    const auto ops = raid.map(chunk0, kib(64), true);
+    ASSERT_EQ(ops.size(), 2u);
+    const int parity = ops[1].disk;
+    EXPECT_EQ(parity, row % 4);
+    EXPECT_NE(ops[0].disk, parity);
+  }
+}
+
+TEST(RaidLayout, CapacityFactors) {
+  EXPECT_DOUBLE_EQ(RaidLayout(RaidLevel::kRaid0, 4, kib(64)).capacity_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(RaidLayout(RaidLevel::kRaid5, 4, kib(64)).capacity_factor(), 0.75);
+  EXPECT_DOUBLE_EQ(RaidLayout(RaidLevel::kRaid10, 4, kib(64)).capacity_factor(), 0.5);
+}
+
+TEST(RaidLayout, ToStringNames) {
+  EXPECT_STREQ(to_string(RaidLevel::kRaid0), "raid0");
+  EXPECT_STREQ(to_string(RaidLevel::kRaid5), "raid5");
+  EXPECT_STREQ(to_string(RaidLevel::kRaid10), "raid10");
+}
+
+// Property: reads cover the requested byte count exactly, writes cover at
+// least it (parity/mirror overhead), across levels and disk counts.
+struct RaidCase {
+  RaidLevel level;
+  int disks;
+};
+
+class RaidProperty : public ::testing::TestWithParam<RaidCase> {};
+
+TEST_P(RaidProperty, ReadsCoverRequestedBytes) {
+  RaidLayout raid(GetParam().level, GetParam().disks, kib(64));
+  for (Bytes off : {Bytes{0}, kib(32), kib(200)}) {
+    for (Bytes size : {kib(1), kib(64), kib(300)}) {
+      Bytes covered = 0;
+      for (const auto& op : raid.map(off, size, false)) {
+        EXPECT_GE(op.disk, 0);
+        EXPECT_LT(op.disk, GetParam().disks);
+        covered += op.size;
+      }
+      EXPECT_EQ(covered, size);
+    }
+  }
+}
+
+TEST_P(RaidProperty, WritesCoverAtLeastRequestedBytes) {
+  RaidLayout raid(GetParam().level, GetParam().disks, kib(64));
+  for (Bytes size : {kib(1), kib(64), kib(300)}) {
+    Bytes covered = 0;
+    for (const auto& op : raid.map(0, size, true)) {
+      EXPECT_TRUE(op.is_write);
+      covered += op.size;
+    }
+    EXPECT_GE(covered, size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Levels, RaidProperty,
+    ::testing::Values(RaidCase{RaidLevel::kRaid0, 1},
+                      RaidCase{RaidLevel::kRaid0, 4},
+                      RaidCase{RaidLevel::kRaid5, 3},
+                      RaidCase{RaidLevel::kRaid5, 5},
+                      RaidCase{RaidLevel::kRaid10, 2},
+                      RaidCase{RaidLevel::kRaid10, 6}));
+
+}  // namespace
+}  // namespace dasched

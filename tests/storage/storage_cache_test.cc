@@ -1,0 +1,79 @@
+#include "storage/storage_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace dasched {
+namespace {
+
+TEST(StorageCache, MissThenHit) {
+  StorageCache c(kib(256), kib(64));
+  EXPECT_FALSE(c.lookup(0));
+  c.insert(0);
+  EXPECT_TRUE(c.lookup(0));
+  EXPECT_EQ(c.stats().hits, 1);
+  EXPECT_EQ(c.stats().misses, 1);
+}
+
+TEST(StorageCache, EvictsLeastRecentlyUsed) {
+  StorageCache c(kib(128), kib(64));  // 2 blocks
+  c.insert(0);
+  c.insert(kib(64));
+  EXPECT_TRUE(c.lookup(0));       // 0 becomes most recent
+  c.insert(kib(128));             // evicts 64K
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(kib(64)));
+  EXPECT_TRUE(c.contains(kib(128)));
+  EXPECT_EQ(c.stats().evictions, 1);
+}
+
+TEST(StorageCache, ReinsertRefreshesWithoutGrowth) {
+  StorageCache c(kib(128), kib(64));
+  c.insert(0);
+  c.insert(0);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(StorageCache, InvalidateRemovesBlock) {
+  StorageCache c(kib(256), kib(64));
+  c.insert(0);
+  c.invalidate(0);
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_EQ(c.stats().invalidations, 1);
+  c.invalidate(0);  // idempotent
+  EXPECT_EQ(c.stats().invalidations, 1);
+}
+
+TEST(StorageCache, PrefetchCandidatesSkipCachedBlocks) {
+  StorageCache c(mib(1), kib(64));
+  c.insert(kib(64));
+  const auto cands = c.prefetch_candidates(0, 3);
+  ASSERT_EQ(cands.size(), 2u);
+  EXPECT_EQ(cands[0], kib(128));
+  EXPECT_EQ(cands[1], kib(192));
+}
+
+TEST(StorageCache, AlignRoundsDown) {
+  StorageCache c(mib(1), kib(64));
+  EXPECT_EQ(c.align(0), 0);
+  EXPECT_EQ(c.align(kib(64) - 1), 0);
+  EXPECT_EQ(c.align(kib(64)), kib(64));
+  EXPECT_EQ(c.align(kib(100)), kib(64));
+}
+
+TEST(StorageCache, HitRate) {
+  StorageCache c(mib(1), kib(64));
+  c.insert(0);
+  c.lookup(0);
+  c.lookup(kib(64));
+  EXPECT_DOUBLE_EQ(c.stats().hit_rate(), 0.5);
+}
+
+TEST(StorageCache, CapacityIsRespectedUnderChurn) {
+  StorageCache c(kib(64) * 16, kib(64));
+  for (int i = 0; i < 1'000; ++i) c.insert(static_cast<Bytes>(i) * kib(64));
+  EXPECT_EQ(c.size(), 16u);
+  EXPECT_EQ(c.max_blocks(), 16u);
+}
+
+}  // namespace
+}  // namespace dasched

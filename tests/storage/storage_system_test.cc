@@ -1,0 +1,108 @@
+#include "storage/storage_system.h"
+
+#include <gtest/gtest.h>
+
+namespace dasched {
+namespace {
+
+StorageConfig small_config() {
+  StorageConfig cfg;
+  cfg.num_io_nodes = 4;
+  cfg.node.cache_capacity = mib(1);
+  cfg.node.prefetch_depth = 0;
+  return cfg;
+}
+
+TEST(StorageSystem, ReadCompletesAcrossNodes) {
+  Simulator sim;
+  StorageSystem storage(sim, small_config());
+  const FileId f = storage.create_file("a", mib(4));
+  bool done = false;
+  storage.read(f, 0, kib(64) * 4, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  StorageStats s = storage.finalize();
+  EXPECT_EQ(s.disk_requests, 4);  // one stripe on each of the 4 nodes
+}
+
+TEST(StorageSystem, WriteCompletes) {
+  Simulator sim;
+  StorageSystem storage(sim, small_config());
+  const FileId f = storage.create_file("a", mib(4));
+  bool done = false;
+  storage.write(f, 0, kib(128), [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(StorageSystem, NetworkLatencyBoundsCompletionFromBelow) {
+  Simulator sim;
+  StorageConfig cfg = small_config();
+  cfg.network_latency = msec(5.0);
+  StorageSystem storage(sim, cfg);
+  const FileId f = storage.create_file("a", mib(1));
+  SimTime done_at = 0;
+  storage.read(f, 0, kib(64), [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_GE(done_at, msec(10.0));  // one hop out, one hop back
+}
+
+TEST(StorageSystem, SignatureDelegatesToStriping) {
+  Simulator sim;
+  StorageSystem storage(sim, small_config());
+  const FileId f = storage.create_file("a", mib(4));
+  const Signature sig = storage.signature(f, 0, kib(64) * 2);
+  EXPECT_EQ(sig.size(), 4);
+  EXPECT_EQ(sig.popcount(), 2);
+}
+
+TEST(StorageSystem, MultiSpeedDisksImpliedByPolicy) {
+  Simulator sim;
+  StorageConfig cfg = small_config();
+  cfg.node.policy = PolicyKind::kHistory;
+  StorageSystem storage(sim, cfg);
+  EXPECT_TRUE(storage.node(0).disk(0).params().multi_speed);
+
+  Simulator sim2;
+  StorageConfig cfg2 = small_config();
+  cfg2.node.policy = PolicyKind::kSimple;
+  StorageSystem storage2(sim2, cfg2);
+  EXPECT_FALSE(storage2.node(0).disk(0).params().multi_speed);
+}
+
+TEST(StorageSystem, FinalizeMergesIdleHistograms) {
+  Simulator sim;
+  StorageSystem storage(sim, small_config());
+  const FileId f = storage.create_file("a", mib(4));
+  storage.read(f, 0, kib(64), {});
+  sim.run();
+  sim.schedule_after(sec(1.0), [&] { storage.read(f, 0, kib(64), {}); });
+  sim.run();
+  StorageStats s = storage.finalize();
+  // The second read hit the cache, so no disk gap was recorded — or it was,
+  // depending on cache state; either way per_node must aggregate cleanly.
+  EXPECT_EQ(s.per_node.size(), 4u);
+  EXPECT_GT(s.energy_j, 0.0);
+}
+
+TEST(StorageSystem, CacheHitRateAggregated) {
+  Simulator sim;
+  StorageSystem storage(sim, small_config());
+  const FileId f = storage.create_file("a", mib(4));
+  storage.read(f, 0, kib(64), {});
+  sim.run();
+  storage.read(f, 0, kib(64), {});
+  sim.run();
+  StorageStats s = storage.finalize();
+  EXPECT_DOUBLE_EQ(s.cache_hit_rate, 0.5);
+}
+
+TEST(StorageSystem, PaperDefaultsShape) {
+  const StorageConfig cfg = StorageConfig::paper_defaults();
+  EXPECT_EQ(cfg.num_io_nodes, 8);
+  EXPECT_EQ(cfg.stripe_size, kib(64));
+  EXPECT_EQ(cfg.node.cache_capacity, mib(64));
+}
+
+}  // namespace
+}  // namespace dasched

@@ -1,0 +1,141 @@
+#include "storage/striping.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace dasched {
+namespace {
+
+TEST(StripingMap, RoundRobinNodeAssignment) {
+  StripingMap m(4, kib(64));
+  const FileId f = m.create_file("a", kib(64) * 8);
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_EQ(m.node_of_stripe(f, k), k % 4);
+  }
+}
+
+TEST(StripingMap, SecondFileStartsAtNextBaseNode) {
+  StripingMap m(4, kib(64));
+  (void)m.create_file("a", kib(64));
+  const FileId b = m.create_file("b", kib(64));
+  EXPECT_EQ(m.node_of_stripe(b, 0), 1);
+}
+
+TEST(StripingMap, MapSplitsAtStripeBoundaries) {
+  StripingMap m(8, kib(64));
+  const FileId f = m.create_file("a", mib(4));
+  const auto pieces = m.map(f, kib(32), kib(128));
+  ASSERT_EQ(pieces.size(), 3u);  // 32K tail, 64K, 32K head
+  EXPECT_EQ(pieces[0].length, kib(32));
+  EXPECT_EQ(pieces[1].length, kib(64));
+  EXPECT_EQ(pieces[2].length, kib(32));
+  Bytes total = 0;
+  for (const auto& p : pieces) total += p.length;
+  EXPECT_EQ(total, kib(128));
+}
+
+TEST(StripingMap, PiecesLandOnConsecutiveNodes) {
+  StripingMap m(8, kib(64));
+  const FileId f = m.create_file("a", mib(4));
+  const auto pieces = m.map(f, 0, kib(64) * 3);
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0].io_node, 0);
+  EXPECT_EQ(pieces[1].io_node, 1);
+  EXPECT_EQ(pieces[2].io_node, 2);
+}
+
+TEST(StripingMap, NodeLocalOffsetsAreDisjointAcrossFiles) {
+  StripingMap m(2, kib(64));
+  const FileId a = m.create_file("a", kib(64) * 4);
+  const FileId b = m.create_file("b", kib(64) * 4);
+  const auto pa = m.map(a, 0, kib(64) * 4);
+  const auto pb = m.map(b, 0, kib(64) * 4);
+  for (const auto& x : pa) {
+    for (const auto& y : pb) {
+      if (x.io_node != y.io_node) continue;
+      const bool overlap = x.node_offset < y.node_offset + y.length &&
+                           y.node_offset < x.node_offset + x.length;
+      EXPECT_FALSE(overlap);
+    }
+  }
+}
+
+TEST(StripingMap, SignatureSetsBitsOfTouchedNodesOnly) {
+  StripingMap m(8, kib(64));
+  const FileId f = m.create_file("a", mib(4));
+  const Signature one = m.signature(f, 0, kib(64));
+  EXPECT_EQ(one.popcount(), 1);
+  EXPECT_TRUE(one.test(0));
+  const Signature two = m.signature(f, 0, kib(128));
+  EXPECT_EQ(two.popcount(), 2);
+  const Signature all = m.signature(f, 0, kib(64) * 8);
+  EXPECT_EQ(all.popcount(), 8);
+}
+
+TEST(StripingMap, SignatureMatchesMapPieces) {
+  StripingMap m(5, kib(64));
+  const FileId f = m.create_file("a", mib(2));
+  const Bytes off = kib(96);
+  const Bytes size = kib(200);
+  const Signature sig = m.signature(f, off, size);
+  for (const auto& piece : m.map(f, off, size)) {
+    EXPECT_TRUE(sig.test(piece.io_node));
+  }
+}
+
+TEST(StripingMap, AllocationTracksStripesPerNode) {
+  StripingMap m(4, kib(64));
+  (void)m.create_file("a", kib(64) * 8);  // 2 stripes per node
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_EQ(m.allocated_on(d), kib(128));
+  }
+}
+
+TEST(StripingMap, UnevenStripeCountAllocatesCeil) {
+  StripingMap m(4, kib(64));
+  (void)m.create_file("a", kib(64) * 5);  // stripes 0..4 -> nodes 0,1,2,3,0
+  EXPECT_EQ(m.allocated_on(0), kib(128));
+  EXPECT_EQ(m.allocated_on(1), kib(64));
+  EXPECT_EQ(m.allocated_on(3), kib(64));
+}
+
+TEST(StripingMap, FileMetadataAccessors) {
+  StripingMap m(4, kib(64));
+  const FileId f = m.create_file("myfile", mib(1));
+  EXPECT_EQ(m.file_name(f), "myfile");
+  EXPECT_EQ(m.file_size(f), mib(1));
+  EXPECT_EQ(m.num_files(), 1);
+  EXPECT_EQ(m.num_io_nodes(), 4);
+  EXPECT_EQ(m.stripe_size(), kib(64));
+}
+
+// Property sweep: every byte of every request maps to exactly one piece.
+class StripingProperty
+    : public ::testing::TestWithParam<std::tuple<int, Bytes>> {};
+
+TEST_P(StripingProperty, MapCoversRequestExactlyOnce) {
+  const auto [nodes, stripe] = GetParam();
+  StripingMap m(nodes, stripe);
+  const FileId f = m.create_file("a", stripe * nodes * 7);
+  for (Bytes off : {Bytes{0}, stripe / 2, stripe * 3 + 17}) {
+    for (Bytes size : {Bytes{1}, stripe - 1, stripe + 1, stripe * 4}) {
+      const auto pieces = m.map(f, off, size);
+      Bytes covered = 0;
+      for (const auto& p : pieces) {
+        EXPECT_GT(p.length, 0);
+        EXPECT_LT(p.io_node, nodes);
+        covered += p.length;
+      }
+      EXPECT_EQ(covered, size);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, StripingProperty,
+    ::testing::Combine(::testing::Values(2, 4, 8, 16, 32),
+                       ::testing::Values(kib(16), kib(64), kib(256))));
+
+}  // namespace
+}  // namespace dasched

@@ -1,0 +1,90 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dasched {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1'000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextIntIsInclusive) {
+  Rng r(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = r.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleRangeRespectsBounds) {
+  Rng r(13);
+  for (int i = 0; i < 1'000; ++i) {
+    const double v = r.next_double(5.0, 6.5);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 6.5);
+  }
+}
+
+TEST(Rng, RoughlyUniformMean) {
+  Rng r(17);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BoolProbability) {
+  Rng r(23);
+  int heads = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (r.next_bool(0.25)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng r(5);
+  const auto first = r.next_u64();
+  r.next_u64();
+  r.reseed(5);
+  EXPECT_EQ(r.next_u64(), first);
+}
+
+}  // namespace
+}  // namespace dasched

@@ -1,0 +1,44 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dasched {
+namespace {
+
+TEST(TextTable, FormatsAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  // Column 2 starts at the same offset in the header and in each row.
+  const auto header_col = out.find("value") - out.find("name");
+  const auto row_col = out.find("1", out.find("alpha")) - out.find("alpha");
+  EXPECT_EQ(header_col, row_col);
+}
+
+TEST(TextTable, HandlesShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW((void)t.to_string());
+}
+
+TEST(TextTable, HandlesExtraCells) {
+  TextTable t({"a"});
+  t.add_row({"x", "overflow"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("overflow"), std::string::npos);
+}
+
+TEST(TextTable, FmtRoundsToPrecision) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+}
+
+TEST(TextTable, PctFormatsFractions) {
+  EXPECT_EQ(TextTable::pct(0.123, 1), "12.3%");
+  EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace dasched

@@ -1,0 +1,35 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace dasched {
+namespace {
+
+TEST(Units, TimeConversionsRoundTrip) {
+  EXPECT_EQ(msec(1.0), 1'000);
+  EXPECT_EQ(sec(1.0), 1'000'000);
+  EXPECT_DOUBLE_EQ(to_msec(msec(123.0)), 123.0);
+  EXPECT_DOUBLE_EQ(to_sec(sec(4.5)), 4.5);
+  EXPECT_DOUBLE_EQ(to_minutes(sec(120.0)), 2.0);
+}
+
+TEST(Units, FractionalMsec) {
+  EXPECT_EQ(msec(0.5), 500);
+  EXPECT_EQ(msec(1.5), 1'500);
+}
+
+TEST(Units, SizeHelpers) {
+  EXPECT_EQ(kib(1), 1'024);
+  EXPECT_EQ(mib(1), 1'024 * 1'024);
+  EXPECT_EQ(gib(1), 1'024LL * 1'024 * 1'024);
+  EXPECT_EQ(kib(64) * 16, mib(1));
+}
+
+TEST(Units, ConstexprUsable) {
+  static_assert(msec(50.0) == 50'000);
+  static_assert(kib(64) == 65'536);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dasched
