@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multi_application.dir/ext_multi_application.cc.o"
+  "CMakeFiles/ext_multi_application.dir/ext_multi_application.cc.o.d"
+  "ext_multi_application"
+  "ext_multi_application.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multi_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

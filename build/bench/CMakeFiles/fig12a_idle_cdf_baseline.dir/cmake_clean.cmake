@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12a_idle_cdf_baseline.dir/fig12a_idle_cdf_baseline.cc.o"
+  "CMakeFiles/fig12a_idle_cdf_baseline.dir/fig12a_idle_cdf_baseline.cc.o.d"
+  "fig12a_idle_cdf_baseline"
+  "fig12a_idle_cdf_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12a_idle_cdf_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12a_idle_cdf_baseline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12b_idle_cdf_scheduled.dir/fig12b_idle_cdf_scheduled.cc.o"
+  "CMakeFiles/fig12b_idle_cdf_scheduled.dir/fig12b_idle_cdf_scheduled.cc.o.d"
+  "fig12b_idle_cdf_scheduled"
+  "fig12b_idle_cdf_scheduled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12b_idle_cdf_scheduled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

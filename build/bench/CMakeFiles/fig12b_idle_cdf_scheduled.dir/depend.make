@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12b_idle_cdf_scheduled.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12c_energy_baseline.dir/fig12c_energy_baseline.cc.o"
+  "CMakeFiles/fig12c_energy_baseline.dir/fig12c_energy_baseline.cc.o.d"
+  "fig12c_energy_baseline"
+  "fig12c_energy_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12c_energy_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12d_energy_scheduled.dir/fig12d_energy_scheduled.cc.o"
+  "CMakeFiles/fig12d_energy_scheduled.dir/fig12d_energy_scheduled.cc.o.d"
+  "fig12d_energy_scheduled"
+  "fig12d_energy_scheduled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12d_energy_scheduled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

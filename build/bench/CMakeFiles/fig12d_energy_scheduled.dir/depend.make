@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12d_energy_scheduled.
+# This may be replaced when dependencies are built.

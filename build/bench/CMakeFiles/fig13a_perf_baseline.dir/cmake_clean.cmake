@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13a_perf_baseline.dir/fig13a_perf_baseline.cc.o"
+  "CMakeFiles/fig13a_perf_baseline.dir/fig13a_perf_baseline.cc.o.d"
+  "fig13a_perf_baseline"
+  "fig13a_perf_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13a_perf_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13a_perf_baseline.
+# This may be replaced when dependencies are built.

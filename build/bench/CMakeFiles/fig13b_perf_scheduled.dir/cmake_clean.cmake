@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13b_perf_scheduled.dir/fig13b_perf_scheduled.cc.o"
+  "CMakeFiles/fig13b_perf_scheduled.dir/fig13b_perf_scheduled.cc.o.d"
+  "fig13b_perf_scheduled"
+  "fig13b_perf_scheduled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13b_perf_scheduled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13c_sweep_ionodes.dir/fig13c_sweep_ionodes.cc.o"
+  "CMakeFiles/fig13c_sweep_ionodes.dir/fig13c_sweep_ionodes.cc.o.d"
+  "fig13c_sweep_ionodes"
+  "fig13c_sweep_ionodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13c_sweep_ionodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

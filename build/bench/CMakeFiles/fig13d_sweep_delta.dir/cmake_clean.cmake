@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13d_sweep_delta.dir/fig13d_sweep_delta.cc.o"
+  "CMakeFiles/fig13d_sweep_delta.dir/fig13d_sweep_delta.cc.o.d"
+  "fig13d_sweep_delta"
+  "fig13d_sweep_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13d_sweep_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

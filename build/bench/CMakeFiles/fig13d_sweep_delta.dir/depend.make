@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13d_sweep_delta.
+# This may be replaced when dependencies are built.

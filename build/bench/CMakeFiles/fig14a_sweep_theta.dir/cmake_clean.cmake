@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14a_sweep_theta.dir/fig14a_sweep_theta.cc.o"
+  "CMakeFiles/fig14a_sweep_theta.dir/fig14a_sweep_theta.cc.o.d"
+  "fig14a_sweep_theta"
+  "fig14a_sweep_theta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14a_sweep_theta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14b_sweep_theta_perf.dir/fig14b_sweep_theta_perf.cc.o"
+  "CMakeFiles/fig14b_sweep_theta_perf.dir/fig14b_sweep_theta_perf.cc.o.d"
+  "fig14b_sweep_theta_perf"
+  "fig14b_sweep_theta_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14b_sweep_theta_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

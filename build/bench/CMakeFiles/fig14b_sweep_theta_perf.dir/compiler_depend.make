@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14b_sweep_theta_perf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_scheduler.dir/microbench_scheduler.cc.o"
+  "CMakeFiles/microbench_scheduler.dir/microbench_scheduler.cc.o.d"
+  "microbench_scheduler"
+  "microbench_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_cache_capacity.dir/sweep_cache_capacity.cc.o"
+  "CMakeFiles/sweep_cache_capacity.dir/sweep_cache_capacity.cc.o.d"
+  "sweep_cache_capacity"
+  "sweep_cache_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_cache_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

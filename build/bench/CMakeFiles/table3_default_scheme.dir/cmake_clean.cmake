@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_default_scheme.dir/table3_default_scheme.cc.o"
+  "CMakeFiles/table3_default_scheme.dir/table3_default_scheme.cc.o.d"
+  "table3_default_scheme"
+  "table3_default_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_default_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiling_path.dir/profiling_path.cpp.o"
+  "CMakeFiles/profiling_path.dir/profiling_path.cpp.o.d"
+  "profiling_path"
+  "profiling_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiling_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

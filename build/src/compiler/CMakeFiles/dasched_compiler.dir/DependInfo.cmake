@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/affine.cc" "src/compiler/CMakeFiles/dasched_compiler.dir/affine.cc.o" "gcc" "src/compiler/CMakeFiles/dasched_compiler.dir/affine.cc.o.d"
+  "/root/repo/src/compiler/compile.cc" "src/compiler/CMakeFiles/dasched_compiler.dir/compile.cc.o" "gcc" "src/compiler/CMakeFiles/dasched_compiler.dir/compile.cc.o.d"
+  "/root/repo/src/compiler/dependence.cc" "src/compiler/CMakeFiles/dasched_compiler.dir/dependence.cc.o" "gcc" "src/compiler/CMakeFiles/dasched_compiler.dir/dependence.cc.o.d"
+  "/root/repo/src/compiler/lower.cc" "src/compiler/CMakeFiles/dasched_compiler.dir/lower.cc.o" "gcc" "src/compiler/CMakeFiles/dasched_compiler.dir/lower.cc.o.d"
+  "/root/repo/src/compiler/slack.cc" "src/compiler/CMakeFiles/dasched_compiler.dir/slack.cc.o" "gcc" "src/compiler/CMakeFiles/dasched_compiler.dir/slack.cc.o.d"
+  "/root/repo/src/compiler/trace_io.cc" "src/compiler/CMakeFiles/dasched_compiler.dir/trace_io.cc.o" "gcc" "src/compiler/CMakeFiles/dasched_compiler.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dasched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dasched_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dasched_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/dasched_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dasched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dasched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasched_compiler.dir/affine.cc.o"
+  "CMakeFiles/dasched_compiler.dir/affine.cc.o.d"
+  "CMakeFiles/dasched_compiler.dir/compile.cc.o"
+  "CMakeFiles/dasched_compiler.dir/compile.cc.o.d"
+  "CMakeFiles/dasched_compiler.dir/dependence.cc.o"
+  "CMakeFiles/dasched_compiler.dir/dependence.cc.o.d"
+  "CMakeFiles/dasched_compiler.dir/lower.cc.o"
+  "CMakeFiles/dasched_compiler.dir/lower.cc.o.d"
+  "CMakeFiles/dasched_compiler.dir/slack.cc.o"
+  "CMakeFiles/dasched_compiler.dir/slack.cc.o.d"
+  "CMakeFiles/dasched_compiler.dir/trace_io.cc.o"
+  "CMakeFiles/dasched_compiler.dir/trace_io.cc.o.d"
+  "libdasched_compiler.a"
+  "libdasched_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasched_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

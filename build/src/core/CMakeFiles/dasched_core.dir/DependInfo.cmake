@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/dasched_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/dasched_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/scheduling_table.cc" "src/core/CMakeFiles/dasched_core.dir/scheduling_table.cc.o" "gcc" "src/core/CMakeFiles/dasched_core.dir/scheduling_table.cc.o.d"
+  "/root/repo/src/core/signature.cc" "src/core/CMakeFiles/dasched_core.dir/signature.cc.o" "gcc" "src/core/CMakeFiles/dasched_core.dir/signature.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dasched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasched_core.dir/scheduler.cc.o"
+  "CMakeFiles/dasched_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/dasched_core.dir/scheduling_table.cc.o"
+  "CMakeFiles/dasched_core.dir/scheduling_table.cc.o.d"
+  "CMakeFiles/dasched_core.dir/signature.cc.o"
+  "CMakeFiles/dasched_core.dir/signature.cc.o.d"
+  "libdasched_core.a"
+  "libdasched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

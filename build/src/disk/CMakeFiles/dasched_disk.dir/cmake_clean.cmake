@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasched_disk.dir/disk.cc.o"
+  "CMakeFiles/dasched_disk.dir/disk.cc.o.d"
+  "libdasched_disk.a"
+  "libdasched_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasched_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasched_driver.dir/experiment.cc.o"
+  "CMakeFiles/dasched_driver.dir/experiment.cc.o.d"
+  "CMakeFiles/dasched_driver.dir/multi_experiment.cc.o"
+  "CMakeFiles/dasched_driver.dir/multi_experiment.cc.o.d"
+  "libdasched_driver.a"
+  "libdasched_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasched_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasched_io.dir/cluster.cc.o"
+  "CMakeFiles/dasched_io.dir/cluster.cc.o.d"
+  "CMakeFiles/dasched_io.dir/collective.cc.o"
+  "CMakeFiles/dasched_io.dir/collective.cc.o.d"
+  "CMakeFiles/dasched_io.dir/global_buffer.cc.o"
+  "CMakeFiles/dasched_io.dir/global_buffer.cc.o.d"
+  "libdasched_io.a"
+  "libdasched_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasched_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdasched_io.a"
+)

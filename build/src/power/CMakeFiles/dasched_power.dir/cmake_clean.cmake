@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasched_power.dir/policies.cc.o"
+  "CMakeFiles/dasched_power.dir/policies.cc.o.d"
+  "libdasched_power.a"
+  "libdasched_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasched_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasched_sim.dir/simulator.cc.o"
+  "CMakeFiles/dasched_sim.dir/simulator.cc.o.d"
+  "libdasched_sim.a"
+  "libdasched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/io_node.cc" "src/storage/CMakeFiles/dasched_storage.dir/io_node.cc.o" "gcc" "src/storage/CMakeFiles/dasched_storage.dir/io_node.cc.o.d"
+  "/root/repo/src/storage/raid.cc" "src/storage/CMakeFiles/dasched_storage.dir/raid.cc.o" "gcc" "src/storage/CMakeFiles/dasched_storage.dir/raid.cc.o.d"
+  "/root/repo/src/storage/storage_cache.cc" "src/storage/CMakeFiles/dasched_storage.dir/storage_cache.cc.o" "gcc" "src/storage/CMakeFiles/dasched_storage.dir/storage_cache.cc.o.d"
+  "/root/repo/src/storage/storage_system.cc" "src/storage/CMakeFiles/dasched_storage.dir/storage_system.cc.o" "gcc" "src/storage/CMakeFiles/dasched_storage.dir/storage_system.cc.o.d"
+  "/root/repo/src/storage/striping.cc" "src/storage/CMakeFiles/dasched_storage.dir/striping.cc.o" "gcc" "src/storage/CMakeFiles/dasched_storage.dir/striping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disk/CMakeFiles/dasched_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dasched_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dasched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dasched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dasched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

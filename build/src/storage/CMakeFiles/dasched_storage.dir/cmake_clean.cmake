@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasched_storage.dir/io_node.cc.o"
+  "CMakeFiles/dasched_storage.dir/io_node.cc.o.d"
+  "CMakeFiles/dasched_storage.dir/raid.cc.o"
+  "CMakeFiles/dasched_storage.dir/raid.cc.o.d"
+  "CMakeFiles/dasched_storage.dir/storage_cache.cc.o"
+  "CMakeFiles/dasched_storage.dir/storage_cache.cc.o.d"
+  "CMakeFiles/dasched_storage.dir/storage_system.cc.o"
+  "CMakeFiles/dasched_storage.dir/storage_system.cc.o.d"
+  "CMakeFiles/dasched_storage.dir/striping.cc.o"
+  "CMakeFiles/dasched_storage.dir/striping.cc.o.d"
+  "libdasched_storage.a"
+  "libdasched_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasched_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

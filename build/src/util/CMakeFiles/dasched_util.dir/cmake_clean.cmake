@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasched_util.dir/histogram.cc.o"
+  "CMakeFiles/dasched_util.dir/histogram.cc.o.d"
+  "CMakeFiles/dasched_util.dir/table.cc.o"
+  "CMakeFiles/dasched_util.dir/table.cc.o.d"
+  "libdasched_util.a"
+  "libdasched_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasched_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

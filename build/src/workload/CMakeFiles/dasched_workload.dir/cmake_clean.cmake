@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasched_workload.dir/apps.cc.o"
+  "CMakeFiles/dasched_workload.dir/apps.cc.o.d"
+  "CMakeFiles/dasched_workload.dir/patterns.cc.o"
+  "CMakeFiles/dasched_workload.dir/patterns.cc.o.d"
+  "libdasched_workload.a"
+  "libdasched_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasched_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compiler/affine_test.cc" "tests/compiler/CMakeFiles/affine_test.dir/affine_test.cc.o" "gcc" "tests/compiler/CMakeFiles/affine_test.dir/affine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/dasched_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dasched_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dasched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dasched_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/dasched_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dasched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dasched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

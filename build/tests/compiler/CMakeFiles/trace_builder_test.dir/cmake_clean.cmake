@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_builder_test.dir/trace_builder_test.cc.o"
+  "CMakeFiles/trace_builder_test.dir/trace_builder_test.cc.o.d"
+  "trace_builder_test"
+  "trace_builder_test.pdb"
+  "trace_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/compiler
+# Build directory: /root/repo/build/tests/compiler
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/compiler/affine_test[1]_include.cmake")
+include("/root/repo/build/tests/compiler/lower_test[1]_include.cmake")
+include("/root/repo/build/tests/compiler/slack_test[1]_include.cmake")
+include("/root/repo/build/tests/compiler/trace_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/compiler/compile_test[1]_include.cmake")
+include("/root/repo/build/tests/compiler/dependence_test[1]_include.cmake")
+include("/root/repo/build/tests/compiler/trace_io_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduling_table_test.dir/scheduling_table_test.cc.o"
+  "CMakeFiles/scheduling_table_test.dir/scheduling_table_test.cc.o.d"
+  "scheduling_table_test"
+  "scheduling_table_test.pdb"
+  "scheduling_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduling_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/signature_test[1]_include.cmake")
+include("/root/repo/build/tests/core/paper_example_test[1]_include.cmake")
+include("/root/repo/build/tests/core/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/core/scheduling_table_test[1]_include.cmake")
+include("/root/repo/build/tests/core/access_test[1]_include.cmake")
+include("/root/repo/build/tests/core/reuse_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_params_test.dir/disk_params_test.cc.o"
+  "CMakeFiles/disk_params_test.dir/disk_params_test.cc.o.d"
+  "disk_params_test"
+  "disk_params_test.pdb"
+  "disk_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/disk
+# Build directory: /root/repo/build/tests/disk
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/disk/disk_params_test[1]_include.cmake")
+include("/root/repo/build/tests/disk/power_model_test[1]_include.cmake")
+include("/root/repo/build/tests/disk/disk_test[1]_include.cmake")

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/driver
+# Build directory: /root/repo/build/tests/driver
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/driver/experiment_test[1]_include.cmake")
+include("/root/repo/build/tests/driver/shape_test[1]_include.cmake")
+include("/root/repo/build/tests/driver/multi_experiment_test[1]_include.cmake")

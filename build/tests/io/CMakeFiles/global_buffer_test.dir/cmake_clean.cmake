@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_buffer_test.dir/global_buffer_test.cc.o"
+  "CMakeFiles/global_buffer_test.dir/global_buffer_test.cc.o.d"
+  "global_buffer_test"
+  "global_buffer_test.pdb"
+  "global_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_io_test.dir/mpi_io_test.cc.o"
+  "CMakeFiles/mpi_io_test.dir/mpi_io_test.cc.o.d"
+  "mpi_io_test"
+  "mpi_io_test.pdb"
+  "mpi_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

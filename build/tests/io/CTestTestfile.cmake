@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/io
+# Build directory: /root/repo/build/tests/io
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/io/global_buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/io/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/io/mpi_io_test[1]_include.cmake")
+include("/root/repo/build/tests/io/collective_test[1]_include.cmake")

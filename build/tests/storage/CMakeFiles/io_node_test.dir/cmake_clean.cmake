@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_node_test.dir/io_node_test.cc.o"
+  "CMakeFiles/io_node_test.dir/io_node_test.cc.o.d"
+  "io_node_test"
+  "io_node_test.pdb"
+  "io_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

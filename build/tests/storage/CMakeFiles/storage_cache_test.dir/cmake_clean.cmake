@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_cache_test.dir/storage_cache_test.cc.o"
+  "CMakeFiles/storage_cache_test.dir/storage_cache_test.cc.o.d"
+  "storage_cache_test"
+  "storage_cache_test.pdb"
+  "storage_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/storage
+# Build directory: /root/repo/build/tests/storage
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/storage/striping_test[1]_include.cmake")
+include("/root/repo/build/tests/storage/raid_test[1]_include.cmake")
+include("/root/repo/build/tests/storage/storage_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/storage/io_node_test[1]_include.cmake")
+include("/root/repo/build/tests/storage/storage_system_test[1]_include.cmake")
+include("/root/repo/build/tests/storage/storage_property_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dasched_run.dir/dasched_run.cc.o"
+  "CMakeFiles/dasched_run.dir/dasched_run.cc.o.d"
+  "dasched_run"
+  "dasched_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dasched_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
