@@ -1,0 +1,56 @@
+// Energy conservation (invariant 1 of the audit catalog).
+//
+// Replays every energy accrual against an independent `PowerModel` instance:
+// the joules a disk books for a residency interval must equal
+// (mode wattage at the interval's speed) x (interval length), and the disk's
+// running `energy_j` must equal the ledger's independent sum — cross-checked
+// at every mode transition and again at finalize, where the per-state energy
+// split and the standby-residency counter are also reconciled.
+#pragma once
+
+#include <array>
+#include <unordered_map>
+
+#include "check/audit.h"
+#include "disk/disk.h"
+#include "disk/power_model.h"
+
+namespace dasched {
+
+class EnergyConservationCheck final : public InvariantCheck,
+                                      public DiskObserver {
+ public:
+  explicit EnergyConservationCheck(SimAuditor& auditor)
+      : InvariantCheck(auditor) {}
+
+  [[nodiscard]] const char* name() const override {
+    return "energy-conservation";
+  }
+
+  // DiskObserver -------------------------------------------------------------
+  void on_energy_accrued(const Disk& disk, DiskState state, Rpm rpm,
+                         SimTime dt, double joules) override;
+  void on_state_change(const Disk& disk, DiskState from, DiskState to) override;
+  void on_finalized(const Disk& disk) override;
+
+ private:
+  struct Ledger {
+    PowerModel model;
+    double expected_j = 0.0;
+    std::array<double, kNumDiskStates> expected_by_state_j{};
+    std::array<SimTime, kNumDiskStates> residency{};
+    explicit Ledger(const DiskParams& params) : model(params) {}
+  };
+
+  Ledger& ledger_for(const Disk& disk);
+  /// Wattage the disk must draw in `state` — the auditor's own reading of
+  /// the power model, independent of `Disk::current_power_w`.
+  [[nodiscard]] static double expected_power_w(const Ledger& ledger,
+                                               const Disk& disk,
+                                               DiskState state, Rpm rpm);
+  void cross_check_total(const Disk& disk, const char* where);
+
+  std::unordered_map<const Disk*, Ledger> ledgers_;
+};
+
+}  // namespace dasched

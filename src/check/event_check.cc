@@ -1,0 +1,53 @@
+#include "check/event_check.h"
+
+#include <string>
+
+namespace dasched {
+
+void EventQueueCheck::on_event_scheduled(std::uint64_t seq, SimTime t,
+                                         SimTime now) {
+  evaluated();
+  if (t < now) {
+    fail(now, "event #" + std::to_string(seq) + " scheduled at t=" +
+                  std::to_string(t) + "us, in the past of now=" +
+                  std::to_string(now) + "us");
+    t = now;  // the engine clamps; mirror it so the ledger stays in sync
+  }
+  pending_.emplace(seq, t);
+}
+
+void EventQueueCheck::on_event_fired(std::uint64_t seq, SimTime t,
+                                     bool cancelled) {
+  evaluated();
+  if (cancelled) {
+    fail(t, "cancelled event #" + std::to_string(seq) + " fired anyway");
+  }
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) {
+    fail(t, "event #" + std::to_string(seq) +
+                " fired without a matching schedule (double fire?)");
+  } else {
+    if (it->second != t) {
+      fail(t, "event #" + std::to_string(seq) + " fired at t=" +
+                  std::to_string(t) + "us but was scheduled for t=" +
+                  std::to_string(it->second) + "us");
+    }
+    pending_.erase(it);
+  }
+  if (t < last_fired_) {
+    fail(t, "time ran backwards: event #" + std::to_string(seq) +
+                " fired at t=" + std::to_string(t) +
+                "us after an event at t=" + std::to_string(last_fired_) + "us");
+  }
+  last_fired_ = t > last_fired_ ? t : last_fired_;
+}
+
+void EventQueueCheck::on_event_discarded(std::uint64_t seq) {
+  evaluated();
+  if (pending_.erase(seq) == 0) {
+    fail(last_fired_, "event #" + std::to_string(seq) +
+                          " discarded without a matching schedule");
+  }
+}
+
+}  // namespace dasched

@@ -1,0 +1,37 @@
+// Event-queue sanity (invariant 5 of the audit catalog).
+//
+// Mirrors the `Simulator` contract from the outside: no event may be
+// scheduled for the past, fired events must replay in nondecreasing time
+// order at their scheduled instants, and a cancelled handle must never have
+// its callback run.  The check keeps its own ledger of pending events, so a
+// engine-side bookkeeping bug (double fire, lost cancellation) cannot hide.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "check/audit.h"
+#include "sim/simulator.h"
+
+namespace dasched {
+
+class EventQueueCheck final : public InvariantCheck, public SimObserver {
+ public:
+  explicit EventQueueCheck(SimAuditor& auditor) : InvariantCheck(auditor) {}
+
+  [[nodiscard]] const char* name() const override { return "event-queue"; }
+
+  // SimObserver --------------------------------------------------------------
+  void on_event_scheduled(std::uint64_t seq, SimTime t, SimTime now) override;
+  void on_event_fired(std::uint64_t seq, SimTime t, bool cancelled) override;
+  void on_event_discarded(std::uint64_t seq) override;
+
+  /// Events scheduled but neither fired nor discarded (pending timers).
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, SimTime> pending_;
+  SimTime last_fired_ = 0;
+};
+
+}  // namespace dasched

@@ -1,0 +1,61 @@
+// Scheduling-table consistency (invariant 3 of the audit catalog).
+//
+// Validates the compiler's artifacts rather than tapping a simulation layer:
+// slack windows must be well-formed (the "negative slack becomes a slack of
+// length 1" clamp always applied, every slot index inside the d-coarsened
+// slot space), chosen scheduling points must respect slacks and per-process
+// exclusivity (no slot double-booking except explicitly `forced` pins), the
+// theta cap must hold whenever the scheduler reported no fallbacks, and the
+// per-process tables the runtime walks must agree exactly with the
+// scheduler's decisions.
+#pragma once
+
+#include <vector>
+
+#include "check/audit.h"
+#include "compiler/compile.h"
+#include "core/access.h"
+#include "core/scheduler.h"
+#include "core/scheduling_table.h"
+
+namespace dasched {
+
+class ScheduleConsistencyCheck final : public InvariantCheck {
+ public:
+  explicit ScheduleConsistencyCheck(SimAuditor& auditor)
+      : InvariantCheck(auditor) {}
+
+  [[nodiscard]] const char* name() const override {
+    return "schedule-consistency";
+  }
+
+  /// Runs every sub-check against one compiled program.  With
+  /// `scheduling_enabled == false` (a baseline compile: every access sits at
+  /// its original point, bypassing the scheduler) only the record and table
+  /// invariants apply — the baseline legitimately double-books slots and
+  /// ignores theta.
+  void validate(const Compiled& compiled, const ScheduleOptions& opts,
+                bool scheduling_enabled = true);
+
+  // Individual sub-checks (also driven directly by the unit tests) ----------
+
+  /// Slack windows well-formed and inside [0, num_slots).
+  void check_records(const std::vector<AccessRecord>& records, Slot num_slots);
+
+  /// Chosen slots inside slacks; forced pins at their original points.
+  void check_placements(const std::vector<ScheduledAccess>& scheduled,
+                        Slot num_slots);
+
+  /// Per process, at most one non-forced access per slot.
+  void check_double_booking(const std::vector<ScheduledAccess>& scheduled);
+
+  /// Theta cap on per-node per-slot access counts.
+  void check_theta(const std::vector<ScheduledAccess>& scheduled,
+                   const ScheduleOptions& opts, const ScheduleStats& stats);
+
+  /// Table entries are exactly the scheduled accesses, ordered per process.
+  void check_table(const SchedulingTable& table,
+                   const std::vector<ScheduledAccess>& scheduled);
+};
+
+}  // namespace dasched

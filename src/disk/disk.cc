@@ -56,6 +56,9 @@ void Disk::accrue() {
     return;
   }
   const double joules = current_power_w() * to_sec(dt);
+  if (observer_ != nullptr) {
+    observer_->on_energy_accrued(*this, state_, rpm_, dt, joules);
+  }
   stats_.energy_j += joules;
   stats_.energy_by_state_j[static_cast<int>(state_)] += joules;
   if (state_ == DiskState::kStandby) stats_.time_in_standby += dt;
@@ -68,7 +71,11 @@ void Disk::accrue() {
 
 void Disk::enter_state(DiskState s) {
   accrue();
+  const DiskState from = state_;
   state_ = s;
+  if (observer_ != nullptr && from != s) {
+    observer_->on_state_change(*this, from, s);
+  }
 }
 
 void Disk::end_stream_idle_if_needed() {
@@ -83,6 +90,7 @@ void Disk::end_stream_idle_if_needed() {
 
 void Disk::submit(DiskRequest req) {
   end_stream_idle_if_needed();
+  if (observer_ != nullptr) observer_->on_request_submitted(*this, req);
   stats_.requests += 1;
   if (req.is_write) {
     stats_.writes += 1;
@@ -224,6 +232,7 @@ void Disk::start_service() {
   }
   DiskRequest req = std::move(it->second);
   q.erase(it);
+  if (observer_ != nullptr) observer_->on_service_start(*this, req);
 
   const Bytes dist = req.offset > head_pos_ ? req.offset - head_pos_
                                             : head_pos_ - req.offset;
@@ -300,6 +309,7 @@ SimTime Disk::expected_service_time(Bytes size, Rpm rpm) const {
 
 const DiskStats& Disk::finalize() {
   accrue();
+  if (observer_ != nullptr) observer_->on_finalized(*this);
   return stats_;
 }
 

@@ -64,6 +64,40 @@ struct DiskRequest {
   std::function<void()> on_complete;
 };
 
+enum class DiskState : int;
+
+/// Passive tap on the disk model, used by the invariant auditor (src/check).
+/// All callbacks default to no-ops; a null observer costs one pointer test
+/// per transition/accrual, so the hooks stay in release builds.
+class DiskObserver {
+ public:
+  virtual ~DiskObserver() = default;
+
+  /// Fired on every state transition, after energy for `from` was accrued.
+  virtual void on_state_change(const Disk& disk, DiskState from, DiskState to) {
+    (void)disk, (void)from, (void)to;
+  }
+
+  /// `joules` were booked for `dt` spent in `state` at rotation speed `rpm`.
+  virtual void on_energy_accrued(const Disk& disk, DiskState state, Rpm rpm,
+                                 SimTime dt, double joules) {
+    (void)disk, (void)state, (void)rpm, (void)dt, (void)joules;
+  }
+
+  /// The arm picked `req` and is about to start the mechanical service.
+  virtual void on_service_start(const Disk& disk, const DiskRequest& req) {
+    (void)disk, (void)req;
+  }
+
+  /// A request entered the disk queues.
+  virtual void on_request_submitted(const Disk& disk, const DiskRequest& req) {
+    (void)disk, (void)req;
+  }
+
+  /// `finalize()` accrued the trailing energy; stats are now complete.
+  virtual void on_finalized(const Disk& disk) { (void)disk; }
+};
+
 enum class DiskState : int {
   kIdle = 0,        // spinning (at current_rpm), queue empty or about to serve
   kSeeking,
@@ -115,6 +149,9 @@ class Disk {
   /// the policy.
   void set_policy(PowerPolicy* policy);
 
+  /// Attaches an audit observer (null to detach).  Not owned.
+  void set_observer(DiskObserver* observer) { observer_ = observer; }
+
   /// Enqueues a request.  `req.on_complete` fires when the data transfer
   /// finishes, however long power-mode recovery takes.
   void submit(DiskRequest req);
@@ -130,11 +167,15 @@ class Disk {
   void request_rpm(Rpm rpm);
 
   [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] const Simulator& sim() const { return sim_; }
   [[nodiscard]] const DiskParams& params() const { return params_; }
   [[nodiscard]] const PowerModel& power_model() const { return power_; }
   [[nodiscard]] DiskState state() const { return state_; }
   [[nodiscard]] Rpm current_rpm() const { return rpm_; }
   [[nodiscard]] Rpm desired_rpm() const { return desired_rpm_; }
+  /// Endpoints of the in-flight speed change (valid while kChangingSpeed).
+  [[nodiscard]] Rpm transition_from() const { return transition_from_; }
+  [[nodiscard]] Rpm transition_to() const { return transition_to_; }
   [[nodiscard]] bool queue_empty() const {
     return queue_.empty() && background_queue_.empty();
   }
@@ -168,6 +209,7 @@ class Disk {
   PowerModel power_;
   Rng rng_;
   PowerPolicy* policy_ = nullptr;
+  DiskObserver* observer_ = nullptr;
 
   DiskState state_ = DiskState::kIdle;
   Rpm rpm_;

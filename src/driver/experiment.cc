@@ -1,10 +1,28 @@
 #include "driver/experiment.h"
 
+#include <memory>
 #include <stdexcept>
+
+#include "check/install.h"
 
 namespace dasched {
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  if (!cfg.audit) return run_experiment(cfg, nullptr);
+  // Internal auditor: a violation is a fatal correctness bug, so surface the
+  // report as an exception rather than as statistics.
+  SimAuditor auditor;
+  ExperimentResult out = run_experiment(cfg, &auditor);
+  if (!auditor.clean()) {
+    throw std::runtime_error("experiment '" + cfg.app +
+                             "' failed its invariant audit:\n" +
+                             auditor.report());
+  }
+  return out;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg,
+                                SimAuditor* auditor) {
   Simulator sim;
 
   StorageConfig storage_cfg = cfg.storage;
@@ -12,6 +30,12 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   storage_cfg.node.policy_cfg = cfg.policy_cfg;
   storage_cfg.seed = cfg.seed;
   StorageSystem storage(sim, storage_cfg);
+
+  // Hook the auditor in before anything can schedule an event, so the
+  // event-queue ledger sees the complete history.
+  if (auditor != nullptr) {
+    install_audit(*auditor, sim, storage, cfg.policy, cfg.policy_cfg);
+  }
 
   const App& app = app_by_name(cfg.app);
   CompiledProgram trace = app.build(storage.striping(), cfg.scale);
@@ -21,6 +45,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   copts.slack.length_unit = app.length_unit;
   copts.slack.max_slack = cfg.max_slack;
   Compiled compiled = compile_trace(std::move(trace), storage.striping(), copts);
+  if (auditor != nullptr) {
+    audit_compiled(*auditor, compiled, copts.sched, copts.enable_scheduling);
+  }
 
   RuntimeConfig rt = cfg.runtime;
   rt.use_runtime_scheduler = cfg.use_scheme;
@@ -45,6 +72,11 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   out.runtime = cluster.stats();
   out.sched = compiled.sched_stats;
   out.events = sim.events_executed();
+  if (auditor != nullptr) {
+    auditor->finalize();
+    out.audited = true;
+    out.audit_violations = auditor->violations_total();
+  }
   return out;
 }
 

@@ -17,7 +17,15 @@
 #include "util/histogram.h"
 #include "workload/app.h"
 
+/// Build-time default of `ExperimentConfig::audit`; the DASCHED_AUDIT CMake
+/// option sets it to 1 so every experiment in the tree runs audited.
+#ifndef DASCHED_AUDIT_DEFAULT
+#define DASCHED_AUDIT_DEFAULT 0
+#endif
+
 namespace dasched {
+
+class SimAuditor;
 
 struct ExperimentConfig {
   std::string app = "hf";
@@ -32,6 +40,11 @@ struct ExperimentConfig {
   /// prefetching.  False reproduces the "without our approach" runs.
   bool use_scheme = false;
   std::uint64_t seed = 1;
+
+  /// Runs the experiment under the invariant auditor (src/check).  A
+  /// violation makes `run_experiment` throw with the audit report, so a
+  /// DASCHED_AUDIT=ON build turns every test into an invariant test.
+  bool audit = DASCHED_AUDIT_DEFAULT != 0;
 
   /// Slack bound: how far (in slots) the compiler may hoist an access.
   /// 0 = the full producer-to-consumer window (paper semantics); the runtime
@@ -51,12 +64,24 @@ struct ExperimentResult {
   ScheduleStats sched;
   std::int64_t events = 0;
 
+  /// True when the run was audited; `audit_violations` is the total count
+  /// (only ever non-zero with an external auditor, which does not throw).
+  bool audited = false;
+  std::int64_t audit_violations = 0;
+
   [[nodiscard]] double exec_minutes() const { return to_minutes(exec_time); }
 };
 
 /// Runs a single experiment to completion.  Throws std::runtime_error if the
-/// simulation deadlocks (a client never finishes).
+/// simulation deadlocks (a client never finishes) or if `cfg.audit` is set
+/// and an invariant check fires.
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// Same, auditing into a caller-provided auditor (enabled regardless of
+/// `cfg.audit`).  Violations are reported through the auditor instead of
+/// throwing, so tools can print the full report.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& cfg,
+                                              SimAuditor* auditor);
 
 /// Energy of `r` normalized to `baseline` (the paper's Fig. 12c/d y-axis).
 [[nodiscard]] inline double normalized_energy(const ExperimentResult& r,

@@ -19,7 +19,6 @@ std::vector<CollectiveIo::Request> CollectiveIo::coalesce(
       Request& last = ranges.back();
       const Bytes last_end = last.offset + last.size;
       const bool same_file = last.file == r.file;
-      const Bytes hole = r.offset > last_end ? r.offset - last_end : 0;
       const Bytes merged_end = std::max(last_end, r.offset + r.size);
       if (same_file && r.offset <= last_end + cfg_.sieve_hole &&
           merged_end - last.offset <= cfg_.max_range) {

@@ -42,7 +42,7 @@ class MpiIo {
   }
 
   /// MPI_File_close: a no-op in simulation (kept for source fidelity).
-  void file_close(FileId fh) { assert(fh >= 0); }
+  void file_close([[maybe_unused]] FileId fh) { assert(fh >= 0); }
 
   [[nodiscard]] StorageSystem& storage() { return storage_; }
 

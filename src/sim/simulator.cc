@@ -15,9 +15,15 @@ bool EventHandle::pending() const {
 }
 
 EventHandle Simulator::schedule_at(SimTime t, Callback cb) {
-  assert(t >= now_ && "cannot schedule an event in the past");
+  const std::uint64_t seq = next_seq_++;
+  if (observer_ != nullptr) observer_->on_event_scheduled(seq, t, now_);
+  // Under audit the violation is recorded instead of aborting; either way the
+  // clock must never be dragged backwards by a past-dated event.
+  assert((t >= now_ || observer_ != nullptr) &&
+         "cannot schedule an event in the past");
+  if (t < now_) t = now_;
   auto state = std::make_shared<EventHandle::State>();
-  queue_.push(Event{t, next_seq_++, std::move(cb), state});
+  queue_.push(Event{t, seq, std::move(cb), state});
   return EventHandle{std::move(state)};
 }
 
@@ -29,7 +35,11 @@ bool Simulator::step() {
   while (!queue_.empty()) {
     Event ev = queue_.top();
     queue_.pop();
-    if (ev.state->cancelled) continue;
+    if (ev.state->cancelled) {
+      if (observer_ != nullptr) observer_->on_event_discarded(ev.seq);
+      continue;
+    }
+    if (observer_ != nullptr) observer_->on_event_fired(ev.seq, ev.time, false);
     now_ = ev.time;
     ev.state->fired = true;
     ++executed_;

@@ -19,6 +19,29 @@ namespace dasched {
 
 class Simulator;
 
+/// Passive tap on the event engine, used by the invariant auditor
+/// (src/check).  All callbacks default to no-ops; a null observer costs one
+/// pointer test per schedule/fire, so the hooks stay in release builds.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  /// An event was scheduled for absolute time `t` while the clock read `now`.
+  /// `t < now` is a contract violation (the engine clamps it to `now`).
+  virtual void on_event_scheduled(std::uint64_t seq, SimTime t, SimTime now) {
+    (void)seq, (void)t, (void)now;
+  }
+
+  /// An event is about to run.  `cancelled` is true only if the engine is
+  /// violating its contract by running a cancelled event.
+  virtual void on_event_fired(std::uint64_t seq, SimTime t, bool cancelled) {
+    (void)seq, (void)t, (void)cancelled;
+  }
+
+  /// A cancelled event was popped and discarded without running.
+  virtual void on_event_discarded(std::uint64_t seq) { (void)seq; }
+};
+
 /// Cancellation token for a scheduled event.  Copyable; all copies refer to
 /// the same underlying event.  Cancelling an already-fired event is a no-op.
 class EventHandle {
@@ -67,6 +90,10 @@ class Simulator {
   /// True when no runnable events remain.
   [[nodiscard]] bool idle() const;
 
+  /// Attaches an audit observer (null to detach).  Not owned.
+  void set_observer(SimObserver* observer) { observer_ = observer; }
+  [[nodiscard]] SimObserver* observer() const { return observer_; }
+
  private:
   struct Event {
     SimTime time;
@@ -84,6 +111,7 @@ class Simulator {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::int64_t executed_ = 0;
+  SimObserver* observer_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

@@ -35,6 +35,7 @@ IoNode::IoNode(Simulator& sim, IoNodeConfig cfg, int node_id, std::uint64_t seed
 void IoNode::issue_disk_ops(const std::vector<DiskOp>& ops,
                             const std::shared_ptr<std::function<void()>>& barrier,
                             int* outstanding, bool background) {
+  if (observer_ != nullptr) observer_->on_disk_ops_issued(*this, ops.size());
   for (const DiskOp& op : ops) {
     assert(op.disk >= 0 && op.disk < num_disks());
     if (outstanding != nullptr) *outstanding += 1;
@@ -47,6 +48,7 @@ void IoNode::issue_disk_ops(const std::vector<DiskOp>& ops,
 void IoNode::prefetch_after_miss(Bytes block_offset) {
   if (cfg_.prefetch_depth <= 0) return;
   for (Bytes next : cache_.prefetch_candidates(block_offset, cfg_.prefetch_depth)) {
+    if (observer_ != nullptr) observer_->on_prefetch_issued(*this, next);
     cache_.insert(next);
     // Fire-and-forget disk reads; nobody waits on prefetches.
     auto ops = raid_.map(next, cache_.block_size(), /*is_write=*/false);
@@ -57,6 +59,7 @@ void IoNode::prefetch_after_miss(Bytes block_offset) {
 void IoNode::read(Bytes offset, Bytes size, std::function<void()> done,
                   bool background) {
   assert(offset >= 0 && size > 0);
+  if (observer_ != nullptr) observer_->on_read(*this, offset, size, background);
   auto join = std::make_shared<Join>();
   join->done = std::move(done);
   auto barrier = std::make_shared<std::function<void()>>([join] { join->arrive(); });
@@ -64,7 +67,9 @@ void IoNode::read(Bytes offset, Bytes size, std::function<void()> done,
   const Bytes first = cache_.align(offset);
   const Bytes last = cache_.align(offset + size - 1);
   for (Bytes b = first; b <= last; b += cache_.block_size()) {
-    if (cache_.lookup(b)) {
+    const bool hit = cache_.lookup(b);
+    if (observer_ != nullptr) observer_->on_block_lookup(*this, b, hit);
+    if (hit) {
       join->outstanding += 1;
       sim_.schedule_after(cfg_.cache_hit_latency, [barrier] { (*barrier)(); });
     } else {
@@ -80,6 +85,7 @@ void IoNode::read(Bytes offset, Bytes size, std::function<void()> done,
 
 void IoNode::write(Bytes offset, Bytes size, std::function<void()> done) {
   assert(offset >= 0 && size > 0);
+  if (observer_ != nullptr) observer_->on_write(*this, offset, size);
   // Ack-early write-behind: the storage cache absorbs the write and the
   // client continues after the cache latency; the disk writes drain in the
   // background.  (AccuSim's server caches behave the same way; this is what
@@ -107,6 +113,7 @@ IoNodeStats IoNode::finalize() {
     out.idle_periods.merge(s.idle_periods);
   }
   out.requests = out.cache.hits + out.cache.misses;
+  if (observer_ != nullptr) observer_->on_finalized(*this, out);
   return out;
 }
 

@@ -37,6 +37,48 @@ struct IoNodeConfig {
   PolicyConfig policy_cfg;
 };
 
+class IoNode;
+struct IoNodeStats;
+
+/// Passive tap on an I/O node, used by the invariant auditor (src/check).
+/// All callbacks default to no-ops; a null observer costs one pointer test
+/// per request, so the hooks stay in release builds.
+class IoNodeObserver {
+ public:
+  virtual ~IoNodeObserver() = default;
+
+  /// A node-local read arrived (before any cache lookups).
+  virtual void on_read(const IoNode& node, Bytes offset, Bytes size,
+                       bool background) {
+    (void)node, (void)offset, (void)size, (void)background;
+  }
+
+  /// A node-local write arrived.
+  virtual void on_write(const IoNode& node, Bytes offset, Bytes size) {
+    (void)node, (void)offset, (void)size;
+  }
+
+  /// A demand block lookup hit or missed the storage cache.
+  virtual void on_block_lookup(const IoNode& node, Bytes block, bool hit) {
+    (void)node, (void)block, (void)hit;
+  }
+
+  /// A sequential prefetch for `block` was issued after a miss.
+  virtual void on_prefetch_issued(const IoNode& node, Bytes block) {
+    (void)node, (void)block;
+  }
+
+  /// `count` per-disk operations were handed to the attached disks.
+  virtual void on_disk_ops_issued(const IoNode& node, std::size_t count) {
+    (void)node, (void)count;
+  }
+
+  /// `finalize()` ran; `stats` is the aggregate about to be returned.
+  virtual void on_finalized(const IoNode& node, const IoNodeStats& stats) {
+    (void)node, (void)stats;
+  }
+};
+
 struct IoNodeStats {
   double energy_j = 0.0;
   std::int64_t requests = 0;
@@ -65,10 +107,18 @@ class IoNode {
   /// drain in the background; `done` fires after the cache latency.
   void write(Bytes offset, Bytes size, std::function<void()> done);
 
+  /// Attaches an audit observer (null to detach).  Not owned.
+  void set_observer(IoNodeObserver* observer) { observer_ = observer; }
+
   [[nodiscard]] int node_id() const { return node_id_; }
   [[nodiscard]] int num_disks() const { return static_cast<int>(disks_.size()); }
   [[nodiscard]] Disk& disk(int i) { return *disks_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const Disk& disk(int i) const {
+    return *disks_[static_cast<std::size_t>(i)];
+  }
   [[nodiscard]] StorageCache& cache() { return cache_; }
+  [[nodiscard]] const StorageCache& cache() const { return cache_; }
+  [[nodiscard]] const IoNodeConfig& config() const { return cfg_; }
 
   /// Accrues trailing energy on all disks and aggregates statistics.
   IoNodeStats finalize();
@@ -82,6 +132,7 @@ class IoNode {
   Simulator& sim_;
   IoNodeConfig cfg_;
   int node_id_;
+  IoNodeObserver* observer_ = nullptr;
   StorageCache cache_;
   RaidLayout raid_;
   std::vector<std::unique_ptr<Disk>> disks_;

@@ -32,6 +32,9 @@ void StorageSystem::route(FileId f, Bytes offset, Bytes size, bool is_write,
   join->done = std::move(done);
 
   const auto pieces = striping_.map(f, offset, size);
+  if (observer_ != nullptr) {
+    observer_->on_request_routed(f, offset, size, is_write, pieces);
+  }
   for (const StripePiece& piece : pieces) {
     join->outstanding += 1;
     const SimTime wire =

@@ -32,6 +32,20 @@ struct StorageConfig {
   [[nodiscard]] static StorageConfig paper_defaults() { return StorageConfig{}; }
 };
 
+/// Passive tap on client-level request routing, used by the invariant
+/// auditor (src/check) to re-check the stripe math on every access.
+class StorageObserver {
+ public:
+  virtual ~StorageObserver() = default;
+
+  /// A client request was split into `pieces` (in file order) and dispatched.
+  virtual void on_request_routed(FileId f, Bytes offset, Bytes size,
+                                 bool is_write,
+                                 const std::vector<StripePiece>& pieces) {
+    (void)f, (void)offset, (void)size, (void)is_write, (void)pieces;
+  }
+};
+
 struct StorageStats {
   double energy_j = 0.0;
   std::int64_t requests = 0;
@@ -76,6 +90,9 @@ class StorageSystem {
   [[nodiscard]] int num_io_nodes() const { return cfg_.num_io_nodes; }
   [[nodiscard]] IoNode& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
 
+  /// Attaches an audit observer (null to detach).  Not owned.
+  void set_observer(StorageObserver* observer) { observer_ = observer; }
+
   /// Finalizes all nodes and aggregates system-wide statistics.
   StorageStats finalize();
 
@@ -86,6 +103,7 @@ class StorageSystem {
   Simulator& sim_;
   StorageConfig cfg_;
   StripingMap striping_;
+  StorageObserver* observer_ = nullptr;
   std::vector<std::unique_ptr<IoNode>> nodes_;
 };
 

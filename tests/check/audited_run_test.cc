@@ -1,0 +1,63 @@
+// End-to-end audited experiments: the full invariant catalog must stay
+// silent across every power policy, with and without the scheme.
+#include <gtest/gtest.h>
+
+#include "check/audit.h"
+#include "driver/experiment.h"
+
+namespace dasched {
+namespace {
+
+ExperimentConfig tiny(PolicyKind policy, bool scheme) {
+  ExperimentConfig cfg;
+  cfg.app = "sar";
+  cfg.scale.num_processes = 4;
+  cfg.scale.factor = 0.1;
+  cfg.policy = policy;
+  cfg.use_scheme = scheme;
+  return cfg;
+}
+
+class AuditedRun : public ::testing::TestWithParam<std::tuple<PolicyKind, bool>> {};
+
+TEST_P(AuditedRun, RunsCleanUnderTheFullCatalog) {
+  const auto [policy, scheme] = GetParam();
+  SimAuditor auditor;
+  const ExperimentResult r = run_experiment(tiny(policy, scheme), &auditor);
+  EXPECT_TRUE(r.audited);
+  EXPECT_EQ(r.audit_violations, 0) << auditor.report();
+  EXPECT_TRUE(auditor.clean()) << auditor.report();
+  EXPECT_GT(auditor.evaluations(), 0);
+  EXPECT_GT(r.energy_j, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, AuditedRun,
+    ::testing::Combine(::testing::Values(PolicyKind::kNone, PolicyKind::kSimple,
+                                         PolicyKind::kPrediction,
+                                         PolicyKind::kHistory,
+                                         PolicyKind::kStaggered),
+                       ::testing::Bool()),
+    [](const testing::TestParamInfo<std::tuple<PolicyKind, bool>>& info) {
+      return std::string(to_string(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "_scheme" : "_base");
+    });
+
+TEST(AuditedRun, InternalAuditorFlagPopulatesResult) {
+  ExperimentConfig cfg = tiny(PolicyKind::kSimple, true);
+  cfg.audit = true;  // internal auditor: throws on any violation
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_TRUE(r.audited);
+  EXPECT_EQ(r.audit_violations, 0);
+}
+
+TEST(AuditedRun, UnauditedRunReportsUnaudited) {
+  ExperimentConfig cfg = tiny(PolicyKind::kNone, false);
+  cfg.audit = false;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_FALSE(r.audited);
+  EXPECT_EQ(r.audit_violations, 0);
+}
+
+}  // namespace
+}  // namespace dasched

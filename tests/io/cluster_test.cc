@@ -18,6 +18,12 @@ StorageConfig small_storage() {
   return cfg;
 }
 
+CompileOptions no_scheduling() {
+  CompileOptions copts;
+  copts.enable_scheduling = false;
+  return copts;
+}
+
 /// Builds, compiles and runs a program; returns (exec_time, stats).
 struct RunResult {
   SimTime exec = 0;
@@ -129,7 +135,7 @@ TEST(Cluster, LocalTimeAdvancesMonotonically) {
   (void)storage.create_file("data", mib(64));
   const Compiled compiled =
       compile(read_loop(10), 1, storage.striping(),
-              CompileOptions{.enable_scheduling = false});
+              no_scheduling());
   Cluster cluster(sim, storage, compiled,
                   RuntimeConfig{.use_runtime_scheduler = false});
   cluster.start();
@@ -155,7 +161,7 @@ TEST(Cluster, ProgressSubscriptionFiresImmediatelyWhenPast) {
   (void)storage.create_file("data", mib(64));
   const Compiled compiled =
       compile(read_loop(5), 1, storage.striping(),
-              CompileOptions{.enable_scheduling = false});
+              no_scheduling());
   Cluster cluster(sim, storage, compiled,
                   RuntimeConfig{.use_runtime_scheduler = false});
   cluster.start();

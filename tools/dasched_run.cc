@@ -15,6 +15,7 @@
 
 #include <fstream>
 
+#include "check/audit.h"
 #include "compiler/trace_io.h"
 #include "driver/experiment.h"
 #include "util/table.h"
@@ -37,6 +38,8 @@ namespace {
       "  --buffer MB       client prefetch buffer capacity (default 128)\n"
       "  --cache MB        per-node storage cache (default 64)\n"
       "  --seed N          RNG seed (default 1)\n"
+      "  --audit           run the invariant auditor and print its report;\n"
+      "                    exits 1 when any invariant is violated\n"
       "  --csv             print one CSV row instead of the report\n"
       "  --csv-header      print the CSV header and exit\n"
       "  --dump-trace F    write the workload's lowered trace to F and exit\n"
@@ -66,6 +69,7 @@ int main(int argc, char** argv) {
   ExperimentConfig cfg;
   cfg.app = "sar";
   bool csv = false;
+  bool audit = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -95,6 +99,8 @@ int main(int argc, char** argv) {
       cfg.storage.node.cache_capacity = mib(std::atoi(value()));
     } else if (arg == "--seed") {
       cfg.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (arg == "--audit") {
+      audit = true;
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--dump-trace") {
@@ -123,7 +129,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  const ExperimentResult r = run_experiment(cfg);
+  SimAuditor auditor;
+  const ExperimentResult r =
+      audit ? run_experiment(cfg, &auditor) : run_experiment(cfg);
+  if (audit) std::fputs(auditor.report().c_str(), csv ? stderr : stdout);
 
   if (csv) {
     std::printf("%s,%s,%d,%d,%.3f,%d,%.3f,%.1f,%lld,%lld,%lld,%.4f,%lld,%lld,%lld,%lld\n",
@@ -138,7 +147,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(r.runtime.buffer_hits),
                 static_cast<long long>(r.runtime.direct_reads),
                 static_cast<long long>(r.events));
-    return 0;
+    return audit && !auditor.clean() ? 1 : 0;
   }
 
   std::printf("== %s  (%s%s) ==\n", r.app.c_str(), to_string(r.policy),
@@ -159,7 +168,10 @@ int main(int argc, char** argv) {
     table.add_row({"prefetches", std::to_string(r.runtime.prefetches)});
     table.add_row({"buffer hits", std::to_string(r.runtime.buffer_hits)});
   }
+  if (r.audited) {
+    table.add_row({"audit violations", std::to_string(r.audit_violations)});
+  }
   table.add_row({"simulator events", std::to_string(r.events)});
   table.print();
-  return 0;
+  return audit && !auditor.clean() ? 1 : 0;
 }
