@@ -10,21 +10,28 @@ using namespace dasched::bench;
 int main() {
   print_header("Ablation — slack bound and prefetch buffer capacity",
                "DESIGN.md design-choice ablations (not a paper figure)");
-  Runner runner;
   const std::string app = "sar";
-  const double base = runner.baseline(app).energy_j;
+  const std::vector<double> slacks{50, 200, 600, 2'000};
+  const std::vector<double> buffers{16, 64, 128, 512};
+
+  ExperimentGrid grid = base_grid({app});
+  const GridResultSet baseline = run_bench_grid(grid);
+  const double base = baseline.find(app, PolicyKind::kNone, false).energy_j;
+
+  grid.policies = {PolicyKind::kHistory};
+  grid.schemes = {true};
+  grid.sweep = sweep_axis_by_name("slack", slacks);
+  const GridResultSet slack_results = run_bench_grid(grid);
+  grid.sweep = sweep_axis_by_name("buffer_mib", buffers);
+  const GridResultSet buffer_results = run_bench_grid(grid);
 
   {
     TextTable table({"max slack (slots)", "history + scheme energy",
                      "vs default", "prefetches"});
-    for (Slot bound : {Slot{50}, Slot{200}, Slot{600}, Slot{2'000}}) {
-      const auto set_bound = [bound](ExperimentConfig& cfg) {
-        cfg.max_slack = bound;
-      };
-      const ExperimentResult r =
-          runner.run(app, PolicyKind::kHistory, true,
-                     "slack" + std::to_string(bound), set_bound);
-      table.add_row({std::to_string(bound),
+    for (const double bound : slacks) {
+      const ExperimentResult& r =
+          slack_results.find(app, PolicyKind::kHistory, true, bound);
+      table.add_row({std::to_string(static_cast<int>(bound)),
                      TextTable::fmt(r.energy_j / 1'000.0, 1) + " kJ",
                      TextTable::pct(r.energy_j / base),
                      std::to_string(r.runtime.prefetches)});
@@ -37,14 +44,10 @@ int main() {
   {
     TextTable table({"buffer capacity", "history + scheme energy",
                      "vs default", "buffer hits"});
-    for (Bytes capacity : {mib(16), mib(64), mib(128), mib(512)}) {
-      const auto set_buffer = [capacity](ExperimentConfig& cfg) {
-        cfg.runtime.buffer_capacity = capacity;
-      };
-      const ExperimentResult r =
-          runner.run(app, PolicyKind::kHistory, true,
-                     "buf" + std::to_string(capacity >> 20), set_buffer);
-      table.add_row({std::to_string(capacity >> 20) + " MB",
+    for (const double mb : buffers) {
+      const ExperimentResult& r =
+          buffer_results.find(app, PolicyKind::kHistory, true, mb);
+      table.add_row({std::to_string(static_cast<int>(mb)) + " MB",
                      TextTable::fmt(r.energy_j / 1'000.0, 1) + " kJ",
                      TextTable::pct(r.energy_j / base),
                      std::to_string(r.runtime.buffer_hits)});
@@ -52,5 +55,11 @@ int main() {
     table.print();
   }
   std::printf("\n(application: sar)\n");
+
+  GridResultSet all = baseline;
+  // GridResultSet is copyable; fold every sweep into one sink emission.
+  all.append(slack_results);
+  all.append(buffer_results);
+  emit_env_sinks(all);
   return 0;
 }

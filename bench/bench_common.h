@@ -1,38 +1,46 @@
 // Shared plumbing for the figure/table reproduction binaries.
 //
-// Every bench binary replays the paper's experimental grid through
-// `run_experiment` and prints the corresponding rows/series as an ASCII
-// table.  Scale knobs (environment variables) let CI run the grid quickly:
-//   DASCHED_BENCH_SCALE  workload scale factor (default 1.0 = calibrated)
-//   DASCHED_BENCH_PROCS  client processes     (default 32, Table II)
+// Every bench binary *declares* its slice of the paper's experimental grid
+// (engine/experiment_grid.h), executes it on the thread-parallel grid
+// runner (engine/grid_runner.h), and prints the corresponding rows/series
+// as an ASCII table.  Structured results flow through the shared sink
+// (engine/result_sink.h).  Environment knobs (strictly parsed — a
+// malformed value stops the run):
+//   DASCHED_BENCH_SCALE    workload scale factor (default 0.5, the bench
+//                          calibration every number in EXPERIMENTS.md was
+//                          measured at; 1.0 is the full paper-sized run)
+//   DASCHED_BENCH_PROCS    client processes      (default 32, Table II)
+//   DASCHED_BENCH_THREADS  grid worker threads   (default: DASCHED_GRID_THREADS,
+//                          then hardware concurrency)
+//   DASCHED_BENCH_CSV      write all cells as CSV to this path ("-" stdout)
+//   DASCHED_BENCH_JSONL    write all cells as JSON lines to this path
 #pragma once
 
 #include <cstdio>
-#include <cstdlib>
+#include <functional>
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "driver/experiment.h"
+#include "engine/env_knobs.h"
+#include "engine/experiment_grid.h"
+#include "engine/grid_runner.h"
+#include "engine/result_sink.h"
 #include "util/table.h"
 
 namespace dasched::bench {
-
-inline double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  return v == nullptr ? fallback : std::atof(v);
-}
-
-inline int env_int(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  return v == nullptr ? fallback : std::atoi(v);
-}
 
 inline WorkloadScale bench_scale() {
   WorkloadScale s;
   s.factor = env_double("DASCHED_BENCH_SCALE", 0.5);
   s.num_processes = env_int("DASCHED_BENCH_PROCS", 32);
   return s;
+}
+
+inline int bench_threads() {
+  return resolve_grid_threads(env_int("DASCHED_BENCH_THREADS", 0));
 }
 
 /// The six applications in Table III order.
@@ -56,56 +64,57 @@ inline const std::vector<PolicyKind>& all_policies() {
   return kinds;
 }
 
-inline ExperimentConfig base_config(const std::string& app) {
-  ExperimentConfig cfg;
-  cfg.app = app;
-  cfg.scale = bench_scale();
-  return cfg;
+/// Grid template at the bench scale; axes default to a single baseline cell.
+inline ExperimentGrid base_grid(std::vector<std::string> apps) {
+  ExperimentGrid grid;
+  grid.base.scale = bench_scale();
+  grid.apps = std::move(apps);
+  return grid;
 }
 
-/// Runs one experiment, caching results per (app, policy, scheme, tag) so a
-/// bench binary never repeats an identical run.
-class Runner {
- public:
-  using Mutator = std::function<void(ExperimentConfig&)>;
+/// Executes one declared grid on the worker pool, logging per-cell progress.
+inline GridResultSet run_bench_grid(const ExperimentGrid& grid) {
+  GridRunOptions opts;
+  opts.threads = bench_threads();
+  const std::size_t total = grid.size();
+  opts.on_cell_done = [total](const GridCell& cell) {
+    std::fprintf(stderr, "[bench] done %s/%s/%s%s (cell %zu of %zu)\n",
+                 cell.app.c_str(), to_string(cell.policy),
+                 cell.scheme ? "s" : "b",
+                 cell.has_sweep
+                     ? (" " + cell.sweep_name + "=" +
+                        std::to_string(cell.sweep_value))
+                           .c_str()
+                     : "",
+                 cell.index + 1, total);
+  };
+  return run_grid(grid, opts);
+}
 
-  ExperimentResult run(const std::string& app, PolicyKind policy, bool scheme,
-                       const std::string& tag = "", const Mutator& mutate = {}) {
-    const std::string key =
-        app + "/" + to_string(policy) + "/" + (scheme ? "s" : "b") + "/" + tag;
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
-
-    ExperimentConfig cfg = base_config(app);
-    cfg.policy = policy;
-    cfg.use_scheme = scheme;
-    if (mutate) mutate(cfg);
-    std::fprintf(stderr, "[bench] running %s ...\n", key.c_str());
-    ExperimentResult result = run_experiment(cfg);
-    cache_.emplace(key, result);
-    return result;
-  }
-
-  /// Default-scheme baseline (no policy, no scheme).
-  ExperimentResult baseline(const std::string& app, const std::string& tag = "",
-                            const Mutator& mutate = {}) {
-    return run(app, PolicyKind::kNone, false, tag, mutate);
-  }
-
- private:
-  std::map<std::string, ExperimentResult> cache_;
-};
+/// The recurring fig12/13 shape: the four policies at `scheme`, plus the
+/// Default Scheme (no policy, no scheme) baselines the metrics divide by.
+inline GridResultSet run_policy_grid(const std::vector<std::string>& apps,
+                                     bool scheme) {
+  ExperimentGrid grid = base_grid(apps);
+  grid.policies = all_policies();
+  grid.schemes = {scheme};
+  GridResultSet results = run_bench_grid(grid);
+  grid.policies = {PolicyKind::kNone};
+  grid.schemes = {false};
+  results.append(run_bench_grid(grid));
+  return results;
+}
 
 /// Prints the Fig. 12-style idle-period CDF table for all applications.
-inline void print_idle_cdf(Runner& runner, bool scheme) {
+inline void print_idle_cdf(const GridResultSet& results, bool scheme) {
   std::vector<std::string> header{"idleness (msec)"};
   for (const std::string& name : all_app_names()) header.push_back(name);
   TextTable table(std::move(header));
 
   std::map<std::string, std::vector<double>> cdfs;
   for (const std::string& name : all_app_names()) {
-    const ExperimentResult r = runner.run(name, PolicyKind::kNone, scheme, "cdf");
-    cdfs[name] = r.storage.idle_periods.cdf();
+    cdfs[name] =
+        results.find(name, PolicyKind::kNone, scheme).storage.idle_periods.cdf();
   }
   const auto edges = DurationHistogram::paper_edges_msec();
   for (std::size_t i = 0; i < edges.size(); ++i) {
@@ -122,18 +131,18 @@ inline void print_idle_cdf(Runner& runner, bool scheme) {
 /// one column per policy, plus a cross-application average row.
 /// `metric` maps (policy run, default-scheme baseline) to a fraction.
 inline void print_policy_grid(
-    Runner& runner, bool scheme,
+    const GridResultSet& results, bool scheme,
     const std::function<double(const ExperimentResult&,
                                const ExperimentResult&)>& metric) {
   TextTable table(
       {"application", "simple", "prediction", "history", "staggered"});
   std::map<PolicyKind, double> sums;
   for (const std::string& name : all_app_names()) {
-    const ExperimentResult base = runner.baseline(name);
+    const ExperimentResult& base =
+        results.find(name, PolicyKind::kNone, false);
     std::vector<std::string> row{name};
     for (PolicyKind kind : all_policies()) {
-      const ExperimentResult r = runner.run(name, kind, scheme);
-      const double v = metric(r, base);
+      const double v = metric(results.find(name, kind, scheme), base);
       sums[kind] += v;
       row.push_back(TextTable::pct(v));
     }
@@ -152,7 +161,8 @@ inline void print_header(const char* title, const char* paper_ref) {
   std::printf("== %s ==\n", title);
   std::printf("reproduces: %s\n", paper_ref);
   const WorkloadScale s = bench_scale();
-  std::printf("scale: factor=%.2f processes=%d\n\n", s.factor, s.num_processes);
+  std::printf("scale: factor=%.2f processes=%d threads=%d\n\n", s.factor,
+              s.num_processes, bench_threads());
 }
 
 }  // namespace dasched::bench

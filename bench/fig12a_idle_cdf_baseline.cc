@@ -5,9 +5,11 @@ using namespace dasched;
 using namespace dasched::bench;
 
 int main() {
-  print_header("Fig. 12(a) \u2014 idle period CDF, without our scheme",
+  print_header("Fig. 12(a) — idle period CDF, without our scheme",
                "Fig. 12(a): y% of idle periods have length x msec or less");
-  Runner runner;
-  print_idle_cdf(runner, /*scheme=*/false);
+  ExperimentGrid grid = base_grid(all_app_names());
+  const GridResultSet results = run_bench_grid(grid);
+  print_idle_cdf(results, /*scheme=*/false);
+  emit_env_sinks(results);
   return 0;
 }

@@ -6,9 +6,12 @@ using namespace dasched;
 using namespace dasched::bench;
 
 int main() {
-  print_header("Fig. 12(b) \u2014 idle period CDF, with our scheme",
+  print_header("Fig. 12(b) — idle period CDF, with our scheme",
                "Fig. 12(b): idle periods lengthen under scheduling");
-  Runner runner;
-  print_idle_cdf(runner, /*scheme=*/true);
+  ExperimentGrid grid = base_grid(all_app_names());
+  grid.schemes = {true};
+  const GridResultSet results = run_bench_grid(grid);
+  print_idle_cdf(results, /*scheme=*/true);
+  emit_env_sinks(results);
   return 0;
 }

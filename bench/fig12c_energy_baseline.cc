@@ -1,13 +1,17 @@
-// Fig. 12(c): normalized energy consumption of the four power-saving\n// strategies without the compiler-directed scheme.
+// Fig. 12(c): normalized energy consumption of the four power-saving
+// strategies without the compiler-directed scheme.
 #include "bench/bench_common.h"
 
 using namespace dasched;
 using namespace dasched::bench;
 
 int main() {
-  print_header("Fig. 12(c) \u2014 normalized energy, without our scheme", "Fig. 12(c): paper averages: simple 95.3%, prediction 93.7%, history 84.4%, staggered 90.2%");
-  Runner runner;
-  print_policy_grid(runner, /*scheme=*/false, normalized_energy);
+  print_header("Fig. 12(c) — normalized energy, without our scheme",
+               "Fig. 12(c): paper averages: simple 95.3%, prediction 93.7%, "
+               "history 84.4%, staggered 90.2%");
+  const GridResultSet results = run_policy_grid(all_app_names(), false);
+  print_policy_grid(results, /*scheme=*/false, normalized_energy);
   std::printf("\n(lower is better; 100%% = Default Scheme)\n");
+  emit_env_sinks(results);
   return 0;
 }

@@ -1,13 +1,17 @@
-// Fig. 12(d): normalized energy consumption with the compiler-directed\n// scheme: the savings of every strategy roughly double.
+// Fig. 12(d): normalized energy consumption with the compiler-directed
+// scheme: the savings of every strategy roughly double.
 #include "bench/bench_common.h"
 
 using namespace dasched;
 using namespace dasched::bench;
 
 int main() {
-  print_header("Fig. 12(d) \u2014 normalized energy, with our scheme", "Fig. 12(d): paper averages: simple 90.6%, prediction 85.8%, history 70.8%, staggered 74.1%");
-  Runner runner;
-  print_policy_grid(runner, /*scheme=*/true, normalized_energy);
+  print_header("Fig. 12(d) — normalized energy, with our scheme",
+               "Fig. 12(d): paper averages: simple 90.6%, prediction 85.8%, "
+               "history 70.8%, staggered 74.1%");
+  const GridResultSet results = run_policy_grid(all_app_names(), true);
+  print_policy_grid(results, /*scheme=*/true, normalized_energy);
   std::printf("\n(lower is better; 100%% = Default Scheme)\n");
+  emit_env_sinks(results);
   return 0;
 }

@@ -1,13 +1,17 @@
-// Fig. 13(a): performance degradation of the four strategies without the\n// scheme, relative to the Default Scheme.
+// Fig. 13(a): performance degradation of the four strategies without the
+// scheme, relative to the Default Scheme.
 #include "bench/bench_common.h"
 
 using namespace dasched;
 using namespace dasched::bench;
 
 int main() {
-  print_header("Fig. 13(a) \u2014 performance degradation, without our scheme", "Fig. 13(a): paper averages: simple 10.4%, others low single digits");
-  Runner runner;
-  print_policy_grid(runner, /*scheme=*/false, degradation);
+  print_header("Fig. 13(a) — performance degradation, without our scheme",
+               "Fig. 13(a): paper averages: simple 10.4%, others low single "
+               "digits");
+  const GridResultSet results = run_policy_grid(all_app_names(), false);
+  print_policy_grid(results, /*scheme=*/false, degradation);
   std::printf("\n(execution-time increase vs the Default Scheme)\n");
+  emit_env_sinks(results);
   return 0;
 }

@@ -1,13 +1,18 @@
-// Fig. 13(b): performance degradation with the scheme: buffer hits absorb\n// stalls, so every strategy degrades less (some even speed up).
+// Fig. 13(b): performance degradation with the scheme: buffer hits absorb
+// stalls, so every strategy degrades less (some even speed up).
 #include "bench/bench_common.h"
 
 using namespace dasched;
 using namespace dasched::bench;
 
 int main() {
-  print_header("Fig. 13(b) \u2014 performance degradation, with our scheme", "Fig. 13(b): paper: simple drops 10.4% -> 6.9%, history 1.5% -> 1.0%");
-  Runner runner;
-  print_policy_grid(runner, /*scheme=*/true, degradation);
-  std::printf("\n(execution-time increase vs the Default Scheme; negative = faster)\n");
+  print_header("Fig. 13(b) — performance degradation, with our scheme",
+               "Fig. 13(b): paper: simple drops 10.4% -> 6.9%, history "
+               "1.5% -> 1.0%");
+  const GridResultSet results = run_policy_grid(all_app_names(), true);
+  print_policy_grid(results, /*scheme=*/true, degradation);
+  std::printf(
+      "\n(execution-time increase vs the Default Scheme; negative = faster)\n");
+  emit_env_sinks(results);
   return 0;
 }

@@ -8,29 +8,34 @@ using namespace dasched::bench;
 int main() {
   print_header("Fig. 13(c) — energy reduction vs number of I/O nodes",
                "Fig. 13(c): reduction grows mildly with more I/O nodes");
-  Runner runner;
+  const std::vector<double> nodes{2, 4, 8, 16, 32};
+
+  ExperimentGrid grid = base_grid(sweep_app_names());
+  grid.policies = {PolicyKind::kHistory};
+  grid.schemes = {false, true};
+  grid.sweep = sweep_axis_by_name("nodes", nodes);
+  GridResultSet results = run_bench_grid(grid);
+  grid.policies = {PolicyKind::kNone};
+  grid.schemes = {false};
+  results.append(run_bench_grid(grid));
+
   TextTable table({"I/O nodes", "history (no scheme)", "history + scheme",
                    "reduction from scheme"});
-  for (int nodes : {2, 4, 8, 16, 32}) {
-    const std::string tag = "nodes" + std::to_string(nodes);
-    const auto set_nodes = [nodes](ExperimentConfig& cfg) {
-      cfg.storage.num_io_nodes = nodes;
-    };
+  for (const double n : nodes) {
     double without = 0.0;
     double with = 0.0;
     double base = 0.0;
     for (const std::string& app : sweep_app_names()) {
-      base += runner.baseline(app, tag, set_nodes).energy_j;
-      without +=
-          runner.run(app, PolicyKind::kHistory, false, tag, set_nodes).energy_j;
-      with +=
-          runner.run(app, PolicyKind::kHistory, true, tag, set_nodes).energy_j;
+      base += results.find(app, PolicyKind::kNone, false, n).energy_j;
+      without += results.find(app, PolicyKind::kHistory, false, n).energy_j;
+      with += results.find(app, PolicyKind::kHistory, true, n).energy_j;
     }
-    table.add_row({std::to_string(nodes), TextTable::pct(without / base),
-                   TextTable::pct(with / base),
+    table.add_row({std::to_string(static_cast<int>(n)),
+                   TextTable::pct(without / base), TextTable::pct(with / base),
                    TextTable::pct((without - with) / without)});
   }
   table.print();
   std::printf("\n(aggregated over: sar, apsi, madbench2)\n");
+  emit_env_sinks(results);
   return 0;
 }

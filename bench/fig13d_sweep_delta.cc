@@ -9,27 +9,30 @@ using namespace dasched::bench;
 int main() {
   print_header("Fig. 13(d) — energy reduction vs delta",
                "Fig. 13(d): interior optimum of the vertical reuse range");
-  Runner runner;
+  const std::vector<double> deltas{5, 10, 20, 40, 80};
+
+  ExperimentGrid grid = base_grid(sweep_app_names());
+  grid.policies = {PolicyKind::kHistory};
+  grid.schemes = {false, true};
+  grid.sweep = sweep_axis_by_name("delta", deltas);
+  const GridResultSet results = run_bench_grid(grid);
+
   TextTable table({"delta", "history (no scheme)", "history + scheme",
                    "reduction from scheme"});
-  for (int delta : {5, 10, 20, 40, 80}) {
-    const std::string tag = "delta" + std::to_string(delta);
-    const auto set_delta = [delta](ExperimentConfig& cfg) {
-      cfg.compile.sched.delta = delta;
-    };
+  for (const double d : deltas) {
     double without = 0.0;
     double with = 0.0;
     for (const std::string& app : sweep_app_names()) {
-      without +=
-          runner.run(app, PolicyKind::kHistory, false, tag, set_delta).energy_j;
-      with +=
-          runner.run(app, PolicyKind::kHistory, true, tag, set_delta).energy_j;
+      without += results.find(app, PolicyKind::kHistory, false, d).energy_j;
+      with += results.find(app, PolicyKind::kHistory, true, d).energy_j;
     }
-    table.add_row({std::to_string(delta), TextTable::fmt(without / 1'000.0, 1) + " kJ",
+    table.add_row({std::to_string(static_cast<int>(d)),
+                   TextTable::fmt(without / 1'000.0, 1) + " kJ",
                    TextTable::fmt(with / 1'000.0, 1) + " kJ",
                    TextTable::pct((without - with) / without)});
   }
   table.print();
   std::printf("\n(aggregated over: sar, apsi, madbench2)\n");
+  emit_env_sinks(results);
   return 0;
 }

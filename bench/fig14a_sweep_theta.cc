@@ -9,28 +9,30 @@ using namespace dasched::bench;
 int main() {
   print_header("Fig. 14(a) — energy reduction vs theta",
                "Fig. 14(a): larger theta increases energy gains");
-  Runner runner;
+  const std::vector<double> thetas{2, 4, 6, 8};
+
+  ExperimentGrid grid = base_grid(sweep_app_names());
+  grid.policies = {PolicyKind::kHistory};
+  grid.schemes = {false, true};
+  grid.sweep = sweep_axis_by_name("theta", thetas);
+  const GridResultSet results = run_bench_grid(grid);
+
   TextTable table({"theta", "history (no scheme)", "history + scheme",
                    "reduction from scheme"});
-  for (int theta : {2, 4, 6, 8}) {
-    const std::string tag = "theta" + std::to_string(theta);
-    const auto set_theta = [theta](ExperimentConfig& cfg) {
-      cfg.compile.sched.theta = theta;
-    };
+  for (const double t : thetas) {
     double without = 0.0;
     double with = 0.0;
     for (const std::string& app : sweep_app_names()) {
-      without +=
-          runner.run(app, PolicyKind::kHistory, false, tag, set_theta).energy_j;
-      with +=
-          runner.run(app, PolicyKind::kHistory, true, tag, set_theta).energy_j;
+      without += results.find(app, PolicyKind::kHistory, false, t).energy_j;
+      with += results.find(app, PolicyKind::kHistory, true, t).energy_j;
     }
-    table.add_row({std::to_string(theta),
+    table.add_row({std::to_string(static_cast<int>(t)),
                    TextTable::fmt(without / 1'000.0, 1) + " kJ",
                    TextTable::fmt(with / 1'000.0, 1) + " kJ",
                    TextTable::pct((without - with) / without)});
   }
   table.print();
   std::printf("\n(aggregated over: sar, apsi, madbench2)\n");
+  emit_env_sinks(results);
   return 0;
 }

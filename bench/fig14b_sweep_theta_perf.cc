@@ -9,27 +9,32 @@ using namespace dasched::bench;
 int main() {
   print_header("Fig. 14(b) — performance improvement vs theta",
                "Fig. 14(b): performance benefit of the scheme per theta");
-  Runner runner;
+  const std::vector<double> thetas{2, 4, 6, 8};
+
+  ExperimentGrid grid = base_grid(sweep_app_names());
+  grid.policies = {PolicyKind::kHistory};
+  grid.schemes = {false, true};
+  grid.sweep = sweep_axis_by_name("theta", thetas);
+  const GridResultSet results = run_bench_grid(grid);
+
   TextTable table({"theta", "exec no scheme (min)", "exec + scheme (min)",
                    "improvement"});
-  for (int theta : {2, 4, 6, 8}) {
-    const std::string tag = "theta" + std::to_string(theta);
-    const auto set_theta = [theta](ExperimentConfig& cfg) {
-      cfg.compile.sched.theta = theta;
-    };
+  for (const double t : thetas) {
     double without = 0.0;
     double with = 0.0;
     for (const std::string& app : sweep_app_names()) {
-      without += to_sec(
-          runner.run(app, PolicyKind::kHistory, false, tag, set_theta).exec_time);
-      with += to_sec(
-          runner.run(app, PolicyKind::kHistory, true, tag, set_theta).exec_time);
+      without +=
+          to_sec(results.find(app, PolicyKind::kHistory, false, t).exec_time);
+      with +=
+          to_sec(results.find(app, PolicyKind::kHistory, true, t).exec_time);
     }
-    table.add_row({std::to_string(theta), TextTable::fmt(without / 60.0, 2),
+    table.add_row({std::to_string(static_cast<int>(t)),
+                   TextTable::fmt(without / 60.0, 2),
                    TextTable::fmt(with / 60.0, 2),
                    TextTable::pct((without - with) / without)});
   }
   table.print();
   std::printf("\n(aggregated over: sar, apsi, madbench2)\n");
+  emit_env_sinks(results);
   return 0;
 }

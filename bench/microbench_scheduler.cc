@@ -1,13 +1,18 @@
-// Google-benchmark microbenchmarks of the compile-time machinery.
+// Google-benchmark microbenchmarks of the compile-time machinery, the
+// discrete-event core and the grid engine.
 //
 // Sec. V-A reports the longest compilation taking ~1.4 s, roughly 40% more
 // than without the scheme; these benches measure the cost of our slack
 // analysis and scheduling passes so that claim can be checked against this
-// implementation (see EXPERIMENTS.md).
+// implementation (see EXPERIMENTS.md).  The event-core and grid benches
+// track the engine work: events/sec of the pooled small-buffer event loop
+// and wall-clock scaling of the parallel grid runner.
 #include <benchmark/benchmark.h>
 
 #include "compiler/compile.h"
 #include "core/scheduler.h"
+#include "engine/grid_runner.h"
+#include "sim/simulator.h"
 #include "util/rng.h"
 #include "workload/app.h"
 
@@ -100,6 +105,91 @@ BENCHMARK(BM_CompilePipeline)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->ArgNames({"scheduling"});
+
+/// Event-core throughput: N self-rescheduling timer chains, the simulator's
+/// dominant workload shape (disk timers, client ticks).  Reports events/sec;
+/// this is the number the allocation-lean core (pooled records + small-
+/// buffer callbacks) lifts over the old std::function/shared_ptr design.
+void BM_EventCoreTimerChains(benchmark::State& state) {
+  const int chains = static_cast<int>(state.range(0));
+  constexpr std::int64_t kEventsPerIter = 200'000;
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    Simulator sim;
+    std::int64_t remaining = kEventsPerIter;
+    struct Chain {
+      Simulator* sim;
+      std::int64_t* remaining;
+      SimTime period;
+      void operator()() const {
+        if (--*remaining <= 0) return;
+        Chain next = *this;
+        sim->schedule_after(period, next);
+      }
+    };
+    for (int c = 0; c < chains; ++c) {
+      Chain chain{&sim, &remaining, usec(10 + c)};
+      sim.schedule_after(usec(c), chain);
+    }
+    while (sim.step()) {
+    }
+    events += kEventsPerIter;
+  }
+  state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_EventCoreTimerChains)->Arg(1)->Arg(64)->Unit(benchmark::kMillisecond);
+
+/// Event-core schedule/cancel mix: half the scheduled events are cancelled
+/// before firing, exercising handle bookkeeping (the pooled-slot fast path).
+void BM_EventCoreCancelMix(benchmark::State& state) {
+  constexpr int kBatch = 1'024;
+  std::int64_t scheduled = 0;
+  for (auto _ : state) {
+    Simulator sim;
+    std::vector<EventHandle> handles;
+    handles.reserve(kBatch);
+    for (int round = 0; round < 64; ++round) {
+      for (int i = 0; i < kBatch; ++i) {
+        handles.push_back(sim.schedule_after(usec(100 + i), [] {}));
+      }
+      for (int i = 0; i < kBatch; i += 2) handles[static_cast<std::size_t>(i)].cancel();
+      while (sim.step()) {
+      }
+      handles.clear();
+      scheduled += kBatch;
+    }
+  }
+  state.SetItemsProcessed(scheduled);
+}
+BENCHMARK(BM_EventCoreCancelMix)->Unit(benchmark::kMillisecond);
+
+/// Grid-runner scaling: one tiny real grid (8 cells), executed serially and
+/// on a worker pool.  items/sec = cells/sec; the ratio of the Arg(8) to the
+/// Arg(1) run is the grid wall-clock speedup on this machine (bounded by
+/// hardware_concurrency — see BENCH_engine.json for recorded numbers).
+void BM_GridRunner(benchmark::State& state) {
+  ExperimentGrid grid;
+  grid.base.scale.num_processes = 4;
+  grid.base.scale.factor = 0.05;
+  grid.apps = {"sar", "madbench2"};
+  grid.policies = {PolicyKind::kNone, PolicyKind::kHistory};
+  grid.schemes = {false, true};
+  GridRunOptions opts;
+  opts.threads = static_cast<int>(state.range(0));
+  std::int64_t cells = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_grid(grid, opts));
+    cells += static_cast<std::int64_t>(grid.size());
+  }
+  state.SetItemsProcessed(cells);
+}
+BENCHMARK(BM_GridRunner)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"threads"})
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 void BM_ReuseFactor(benchmark::State& state) {
   AccessScheduler sched(8, 1'000, ScheduleOptions{.delta = 20});

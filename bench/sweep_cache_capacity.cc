@@ -11,27 +11,28 @@ using namespace dasched::bench;
 int main() {
   print_header("Sec. V-D — storage cache capacity sensitivity",
                "text: larger caches shrink the scheme's relative benefit");
-  Runner runner;
+  const std::vector<double> capacities{32, 64, 256};
+
+  ExperimentGrid grid = base_grid(sweep_app_names());
+  grid.policies = {PolicyKind::kHistory};
+  grid.schemes = {false, true};
+  grid.sweep = sweep_axis_by_name("cache_mib", capacities);
+  const GridResultSet results = run_bench_grid(grid);
+
   TextTable table({"cache per node", "history (no scheme)", "history + scheme",
                    "reduction from scheme", "cache hit rate"});
-  for (Bytes capacity : {mib(32), mib(64), mib(256)}) {
-    const std::string tag = "cache" + std::to_string(capacity >> 20);
-    const auto set_cache = [capacity](ExperimentConfig& cfg) {
-      cfg.storage.node.cache_capacity = capacity;
-    };
+  for (const double mb : capacities) {
     double without = 0.0;
     double with = 0.0;
     double hits = 0.0;
     for (const std::string& app : sweep_app_names()) {
-      const ExperimentResult a =
-          runner.run(app, PolicyKind::kHistory, false, tag, set_cache);
-      const ExperimentResult b =
-          runner.run(app, PolicyKind::kHistory, true, tag, set_cache);
+      const ExperimentResult& a =
+          results.find(app, PolicyKind::kHistory, false, mb);
       without += a.energy_j;
-      with += b.energy_j;
+      with += results.find(app, PolicyKind::kHistory, true, mb).energy_j;
       hits += a.storage.cache_hit_rate;
     }
-    table.add_row({std::to_string(capacity >> 20) + " MB",
+    table.add_row({std::to_string(static_cast<int>(mb)) + " MB",
                    TextTable::fmt(without / 1'000.0, 1) + " kJ",
                    TextTable::fmt(with / 1'000.0, 1) + " kJ",
                    TextTable::pct((without - with) / without),
@@ -40,5 +41,6 @@ int main() {
   }
   table.print();
   std::printf("\n(aggregated over: sar, apsi, madbench2)\n");
+  emit_env_sinks(results);
   return 0;
 }

@@ -3,9 +3,26 @@
 #include <memory>
 #include <stdexcept>
 
+#include "check/install.h"
+
 namespace dasched {
 
 MultiExperimentResult run_multi_experiment(const MultiExperimentConfig& cfg) {
+  if (!cfg.audit) return run_multi_experiment(cfg, nullptr);
+  // Internal auditor: a violation is a fatal correctness bug, so surface the
+  // report as an exception rather than as statistics.
+  SimAuditor auditor;
+  MultiExperimentResult out = run_multi_experiment(cfg, &auditor);
+  if (!auditor.clean()) {
+    throw std::runtime_error(
+        "multi-application scenario failed its invariant audit:\n" +
+        auditor.report());
+  }
+  return out;
+}
+
+MultiExperimentResult run_multi_experiment(const MultiExperimentConfig& cfg,
+                                           SimAuditor* auditor) {
   if (cfg.apps.empty()) {
     throw std::invalid_argument("run_multi_experiment: no applications");
   }
@@ -16,6 +33,12 @@ MultiExperimentResult run_multi_experiment(const MultiExperimentConfig& cfg) {
   storage_cfg.node.policy_cfg = cfg.policy_cfg;
   storage_cfg.seed = cfg.seed;
   StorageSystem storage(sim, storage_cfg);
+
+  // Hook the auditor in before anything can schedule an event, so the
+  // event-queue ledger sees the complete history.
+  if (auditor != nullptr) {
+    install_audit(*auditor, sim, storage, cfg.policy, cfg.policy_cfg);
+  }
 
   // Compile every application against the shared striping map (files get
   // disjoint node-local extents) but with an isolated scheduling pass each —
@@ -30,6 +53,10 @@ MultiExperimentResult run_multi_experiment(const MultiExperimentConfig& cfg) {
     copts.slack.max_slack = cfg.max_slack;
     compiled.push_back(std::make_unique<Compiled>(
         compile_trace(std::move(trace), storage.striping(), copts)));
+    if (auditor != nullptr) {
+      audit_compiled(*auditor, *compiled.back(), copts.sched,
+                     copts.enable_scheduling);
+    }
   }
 
   std::vector<std::unique_ptr<Cluster>> clusters;
@@ -60,6 +87,11 @@ MultiExperimentResult run_multi_experiment(const MultiExperimentConfig& cfg) {
   }
   out.storage = storage.finalize();
   out.energy_j = out.storage.energy_j;
+  if (auditor != nullptr) {
+    auditor->finalize();
+    out.audited = true;
+    out.audit_violations = auditor->violations_total();
+  }
   return out;
 }
 

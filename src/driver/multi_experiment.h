@@ -29,6 +29,11 @@ struct MultiExperimentConfig {
   bool use_scheme = false;
   Slot max_slack = 600;
   std::uint64_t seed = 1;
+
+  /// Runs the scenario under the invariant auditor (src/check).  A violation
+  /// makes `run_multi_experiment` throw with the audit report, mirroring
+  /// `ExperimentConfig::audit`; a DASCHED_AUDIT=ON build audits every run.
+  bool audit = DASCHED_AUDIT_DEFAULT != 0;
 };
 
 struct MultiExperimentResult {
@@ -40,11 +45,23 @@ struct MultiExperimentResult {
   StorageStats storage;
   /// Per-application runtime statistics.
   std::vector<RuntimeStats> runtime;
+
+  /// True when the run was audited; `audit_violations` is the total count
+  /// (only ever non-zero with an external auditor, which does not throw).
+  bool audited = false;
+  std::int64_t audit_violations = 0;
 };
 
 /// Runs all applications concurrently on one storage system; accounting
 /// stops when the last application completes.
 [[nodiscard]] MultiExperimentResult run_multi_experiment(
     const MultiExperimentConfig& cfg);
+
+/// As above, but records invariant checks into an external auditor instead
+/// of throwing: the caller inspects `auditor->clean()` / the result's
+/// `audit_violations`.  The auditor observes the shared simulator and
+/// storage system plus every application's compiled schedule.
+[[nodiscard]] MultiExperimentResult run_multi_experiment(
+    const MultiExperimentConfig& cfg, SimAuditor* auditor);
 
 }  // namespace dasched

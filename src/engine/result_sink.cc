@@ -1,0 +1,128 @@
+#include "engine/result_sink.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <stdexcept>
+
+namespace dasched {
+
+namespace {
+
+/// Minimal JSON string escaping (the emitted strings are app/axis names).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_csv_header(std::ostream& os) {
+  os << "app,policy,scheme,sweep,sweep_value,seed,procs,scale,nodes,delta,"
+        "theta,max_slack,exec_s,energy_j,requests,disk_requests,spin_downs,"
+        "spin_ups,rpm_changes,cache_hit_rate,prefetches,buffer_hits,"
+        "in_flight_hits,direct_reads,scheduled,mean_advance_slots,events,"
+        "audited,audit_violations\n";
+}
+
+void write_csv_row(std::ostream& os, const GridCellResult& row) {
+  const GridCell& c = row.cell;
+  const ExperimentResult& r = row.result;
+  os << c.app << ',' << to_string(c.policy) << ',' << (c.scheme ? 1 : 0)
+     << ',' << (c.has_sweep ? c.sweep_name : "") << ','
+     << (c.has_sweep ? c.sweep_value : 0.0) << ',' << c.config.seed << ','
+     << c.config.scale.num_processes << ',' << c.config.scale.factor << ','
+     << c.config.storage.num_io_nodes << ',' << c.config.compile.sched.delta
+     << ',' << c.config.compile.sched.theta << ',' << c.config.max_slack
+     << ',' << to_sec(r.exec_time) << ',' << r.energy_j << ','
+     << r.storage.requests << ',' << r.storage.disk_requests << ','
+     << r.storage.spin_downs << ',' << r.storage.spin_ups << ','
+     << r.storage.rpm_changes << ',' << r.storage.cache_hit_rate << ','
+     << r.runtime.prefetches << ',' << r.runtime.buffer_hits << ','
+     << r.runtime.in_flight_hits << ',' << r.runtime.direct_reads << ','
+     << r.sched.scheduled << ',' << r.sched.mean_advance_slots << ','
+     << r.events << ',' << (r.audited ? 1 : 0) << ',' << r.audit_violations
+     << '\n';
+}
+
+void write_csv(std::ostream& os, const GridResultSet& results) {
+  write_csv_header(os);
+  for (const GridCellResult& row : results.rows()) write_csv_row(os, row);
+}
+
+void write_jsonl_row(std::ostream& os, const GridCellResult& row) {
+  const GridCell& c = row.cell;
+  const ExperimentResult& r = row.result;
+  os << "{\"app\":\"" << json_escape(c.app) << "\",\"policy\":\""
+     << to_string(c.policy) << "\",\"scheme\":" << (c.scheme ? "true" : "false");
+  if (c.has_sweep) {
+    os << ",\"sweep\":\"" << json_escape(c.sweep_name)
+       << "\",\"sweep_value\":" << c.sweep_value;
+  }
+  os << ",\"seed\":" << c.config.seed
+     << ",\"procs\":" << c.config.scale.num_processes
+     << ",\"scale\":" << c.config.scale.factor
+     << ",\"nodes\":" << c.config.storage.num_io_nodes
+     << ",\"delta\":" << c.config.compile.sched.delta
+     << ",\"theta\":" << c.config.compile.sched.theta
+     << ",\"max_slack\":" << c.config.max_slack
+     << ",\"exec_s\":" << to_sec(r.exec_time)
+     << ",\"energy_j\":" << r.energy_j
+     << ",\"requests\":" << r.storage.requests
+     << ",\"disk_requests\":" << r.storage.disk_requests
+     << ",\"spin_downs\":" << r.storage.spin_downs
+     << ",\"spin_ups\":" << r.storage.spin_ups
+     << ",\"rpm_changes\":" << r.storage.rpm_changes
+     << ",\"cache_hit_rate\":" << r.storage.cache_hit_rate
+     << ",\"prefetches\":" << r.runtime.prefetches
+     << ",\"buffer_hits\":" << r.runtime.buffer_hits
+     << ",\"in_flight_hits\":" << r.runtime.in_flight_hits
+     << ",\"direct_reads\":" << r.runtime.direct_reads
+     << ",\"scheduled\":" << r.sched.scheduled
+     << ",\"mean_advance_slots\":" << r.sched.mean_advance_slots
+     << ",\"events\":" << r.events
+     << ",\"audited\":" << (r.audited ? "true" : "false")
+     << ",\"audit_violations\":" << r.audit_violations << "}\n";
+}
+
+void write_jsonl(std::ostream& os, const GridResultSet& results) {
+  for (const GridCellResult& row : results.rows()) write_jsonl_row(os, row);
+}
+
+namespace {
+
+void write_encoding(const GridResultSet& results, const std::string& path,
+                    void (*writer)(std::ostream&, const GridResultSet&)) {
+  if (path.empty()) return;
+  if (path == "-") {
+    writer(std::cout, results);
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open result file '" + path + "'");
+  writer(out, results);
+}
+
+}  // namespace
+
+void write_result_files(const GridResultSet& results,
+                        const std::string& csv_path,
+                        const std::string& jsonl_path) {
+  write_encoding(results, csv_path, &write_csv);
+  write_encoding(results, jsonl_path, &write_jsonl);
+}
+
+void emit_env_sinks(const GridResultSet& results) {
+  const char* csv = std::getenv("DASCHED_BENCH_CSV");
+  const char* jsonl = std::getenv("DASCHED_BENCH_JSONL");
+  write_result_files(results, csv == nullptr ? "" : csv,
+                     jsonl == nullptr ? "" : jsonl);
+}
+
+}  // namespace dasched

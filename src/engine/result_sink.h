@@ -1,0 +1,38 @@
+// Structured result emission shared by every bench binary and tool.
+//
+// One schema, two encodings: a CSV table (spreadsheet-friendly) and JSON
+// lines (one object per grid cell — the `BENCH_*.json` trajectory format).
+// Benches emit mechanically via `emit_env_sinks`, which honours the
+// DASCHED_BENCH_CSV / DASCHED_BENCH_JSONL environment knobs, so every
+// figure reproduction can feed plotting scripts without bespoke printers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "engine/grid_runner.h"
+
+namespace dasched {
+
+/// CSV column header matching `write_csv_row`.
+void write_csv_header(std::ostream& os);
+void write_csv_row(std::ostream& os, const GridCellResult& row);
+/// Header plus one row per cell.
+void write_csv(std::ostream& os, const GridResultSet& results);
+
+/// One JSON object per line per cell (JSONL).  Keys mirror the CSV columns.
+void write_jsonl_row(std::ostream& os, const GridCellResult& row);
+void write_jsonl(std::ostream& os, const GridResultSet& results);
+
+/// Writes the encodings to files ("" skips one, "-" means stdout).
+/// Throws std::runtime_error if a path cannot be opened.
+void write_result_files(const GridResultSet& results,
+                        const std::string& csv_path,
+                        const std::string& jsonl_path);
+
+/// Bench-binary hook: writes to $DASCHED_BENCH_CSV / $DASCHED_BENCH_JSONL
+/// when set (appending per binary would interleave schemas, so each binary
+/// should be pointed at its own file).  No-op when neither is set.
+void emit_env_sinks(const GridResultSet& results);
+
+}  // namespace dasched

@@ -1,0 +1,121 @@
+// Small-buffer callable wrapper for simulator events.
+//
+// The event queue is the simulation's hottest path: every disk transfer,
+// network hop, policy timer and client step allocates one callback.  A
+// `std::function` puts most of those captures on the heap; `EventFn` keeps
+// any nothrow-movable callable up to `kInlineSize` bytes inline and only
+// falls back to one heap allocation for oversized captures.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dasched {
+
+/// Move-only `void()` callable.  Invoking an empty EventFn is undefined;
+/// test with `operator bool` first (the simulator never stores empty ones).
+class EventFn {
+ public:
+  /// Sized for the largest in-tree capture (storage fan-out: this + node +
+  /// stripe piece + completion join) so the event hot path never allocates.
+  static constexpr std::size_t kInlineSize = 80;
+
+  EventFn() noexcept = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): drop-in for std::function.
+  EventFn(F&& f) {
+    if constexpr (sizeof(D) <= kInlineSize &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = inline_ops<D>();
+    } else {
+      heap_ = new D(std::forward<F>(f));
+      ops_ = heap_ops<D>();
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  void operator()() { ops_->invoke(target()); }
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs `dst` from the inline object at `src` and destroys
+    /// `src`; null for heap-stored callables (the pointer is stolen instead).
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static const Ops* inline_ops() {
+    static constexpr Ops ops{
+        [](void* p) { (*static_cast<D*>(p))(); },
+        [](void* src, void* dst) {
+          ::new (dst) D(std::move(*static_cast<D*>(src)));
+          static_cast<D*>(src)->~D();
+        },
+        [](void* p) { static_cast<D*>(p)->~D(); },
+    };
+    return &ops;
+  }
+
+  template <typename D>
+  static const Ops* heap_ops() {
+    static constexpr Ops ops{
+        [](void* p) { (*static_cast<D*>(p))(); },
+        nullptr,
+        [](void* p) { delete static_cast<D*>(p); },
+    };
+    return &ops;
+  }
+
+  [[nodiscard]] bool is_inline() const noexcept {
+    return ops_ != nullptr && ops_->relocate != nullptr;
+  }
+  void* target() noexcept {
+    return is_inline() ? static_cast<void*>(storage_) : heap_;
+  }
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ == nullptr) return;
+    if (ops_->relocate != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+    } else {
+      heap_ = other.heap_;
+      other.heap_ = nullptr;
+    }
+    other.ops_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (ops_ == nullptr) return;
+    ops_->destroy(target());
+    ops_ = nullptr;
+    heap_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+  void* heap_ = nullptr;
+};
+
+}  // namespace dasched

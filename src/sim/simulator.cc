@@ -1,17 +1,46 @@
 #include "sim/simulator.h"
 
 #include <cassert>
-#include <limits>
 #include <utility>
 
 namespace dasched {
 
 void EventHandle::cancel() {
-  if (state_) state_->cancelled = true;
+  if (sim_ != nullptr) sim_->cancel_slot(slot_, gen_);
 }
 
 bool EventHandle::pending() const {
-  return state_ && !state_->cancelled && !state_->fired;
+  return sim_ != nullptr && sim_->slot_pending(slot_, gen_);
+}
+
+std::uint32_t Simulator::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  records_.emplace_back();
+  return static_cast<std::uint32_t>(records_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Record& rec = records_[slot];
+  rec.cb = EventFn();
+  rec.cancelled = false;
+  // The generation bump turns every outstanding handle to this slot stale,
+  // which is exactly the fired/cancelled = "no longer pending" semantics.
+  ++rec.gen;
+  free_slots_.push_back(slot);
+}
+
+bool Simulator::slot_pending(std::uint32_t slot, std::uint32_t gen) const {
+  const Record& rec = records_[slot];
+  return rec.gen == gen && !rec.cancelled;
+}
+
+void Simulator::cancel_slot(std::uint32_t slot, std::uint32_t gen) {
+  Record& rec = records_[slot];
+  if (rec.gen == gen) rec.cancelled = true;
 }
 
 EventHandle Simulator::schedule_at(SimTime t, Callback cb) {
@@ -22,9 +51,11 @@ EventHandle Simulator::schedule_at(SimTime t, Callback cb) {
   assert((t >= now_ || observer_ != nullptr) &&
          "cannot schedule an event in the past");
   if (t < now_) t = now_;
-  auto state = std::make_shared<EventHandle::State>();
-  queue_.push(Event{t, seq, std::move(cb), state});
-  return EventHandle{std::move(state)};
+  const std::uint32_t slot = acquire_slot();
+  Record& rec = records_[slot];
+  rec.cb = std::move(cb);
+  queue_.push(QueuedEvent{t, seq, slot});
+  return EventHandle{this, slot, rec.gen};
 }
 
 EventHandle Simulator::schedule_after(SimTime delay, Callback cb) {
@@ -33,17 +64,23 @@ EventHandle Simulator::schedule_after(SimTime delay, Callback cb) {
 
 bool Simulator::step() {
   while (!queue_.empty()) {
-    Event ev = queue_.top();
+    const QueuedEvent ev = queue_.top();
     queue_.pop();
-    if (ev.state->cancelled) {
+    Record& rec = records_[ev.slot];
+    if (rec.cancelled) {
       if (observer_ != nullptr) observer_->on_event_discarded(ev.seq);
+      release_slot(ev.slot);
       continue;
     }
     if (observer_ != nullptr) observer_->on_event_fired(ev.seq, ev.time, false);
     now_ = ev.time;
-    ev.state->fired = true;
+    // Move the callback out and recycle the slot before invoking: the
+    // callback may schedule new events (reusing this slot) or cancel others,
+    // and records_ may grow, so no reference into the pool survives the call.
+    EventFn cb = std::move(rec.cb);
+    release_slot(ev.slot);
     ++executed_;
-    ev.cb();
+    cb();
     return true;
   }
   return false;

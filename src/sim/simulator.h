@@ -1,18 +1,22 @@
 // Discrete-event simulation engine.
 //
-// A `Simulator` owns a priority queue of (time, sequence, callback) events.
-// Events scheduled for the same instant fire in scheduling order, so the
-// whole simulation is deterministic.  Events can be cancelled through the
+// A `Simulator` owns a priority queue of (time, sequence) events.  Events
+// scheduled for the same instant fire in scheduling order, so the whole
+// simulation is deterministic.  Events can be cancelled through the
 // `EventHandle` returned by `schedule_at`/`schedule_after`.
+//
+// The hot path is allocation-lean: callbacks are stored in small-buffer
+// `EventFn`s inside a pooled record array (recycled through a free list),
+// and the priority queue holds 24-byte POD entries.  Nothing is heap
+// allocated per event once the pool has warmed up.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
-#include <memory>
 #include <queue>
 #include <vector>
 
+#include "sim/event_fn.h"
 #include "util/units.h"
 
 namespace dasched {
@@ -44,6 +48,9 @@ class SimObserver {
 
 /// Cancellation token for a scheduled event.  Copyable; all copies refer to
 /// the same underlying event.  Cancelling an already-fired event is a no-op.
+/// A handle refers into its simulator's event pool, so it must not be used
+/// after the simulator is destroyed (every in-tree holder lives inside the
+/// simulation stack, which is torn down before the simulator).
 class EventHandle {
  public:
   EventHandle() = default;
@@ -56,17 +63,23 @@ class EventHandle {
 
  private:
   friend class Simulator;
-  struct State {
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(Simulator* sim, std::uint32_t slot, std::uint32_t gen)
+      : sim_(sim), slot_(slot), gen_(gen) {}
+
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventFn;
+
+  Simulator() = default;
+  // Event handles and layer objects hold pointers/references to the
+  // simulator, so it is pinned in place.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulated time.
   [[nodiscard]] SimTime now() const { return now_; }
@@ -95,24 +108,39 @@ class Simulator {
   [[nodiscard]] SimObserver* observer() const { return observer_; }
 
  private:
-  struct Event {
+  friend class EventHandle;
+
+  /// Pooled per-event storage; `gen` distinguishes a live event from stale
+  /// handles after the slot has been recycled.
+  struct Record {
+    EventFn cb;
+    std::uint32_t gen = 0;
+    bool cancelled = false;
+  };
+  struct QueuedEvent {
     SimTime time;
     std::uint64_t seq;
-    Callback cb;
-    std::shared_ptr<EventHandle::State> state;
+    std::uint32_t slot;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  [[nodiscard]] bool slot_pending(std::uint32_t slot, std::uint32_t gen) const;
+  void cancel_slot(std::uint32_t slot, std::uint32_t gen);
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::int64_t executed_ = 0;
   SimObserver* observer_ = nullptr;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Record> records_;
+  std::vector<std::uint32_t> free_slots_;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
 };
 
 }  // namespace dasched

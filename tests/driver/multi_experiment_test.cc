@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "check/audit.h"
+
 namespace dasched {
 namespace {
 
@@ -63,6 +65,52 @@ TEST(MultiExperiment, EmptyAppListThrows) {
   EXPECT_THROW((void)run_multi_experiment(MultiExperimentConfig{}),
                std::invalid_argument);
 }
+
+// The invariant auditor must hold for co-scheduled applications under every
+// power policy, both via the external-auditor overload (statistics, no
+// throw) and via cfg.audit (throws on violation).
+class MultiExperimentAudit : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(MultiExperimentAudit, CleanUnderExternalAuditor) {
+  MultiExperimentConfig cfg = tiny({"sar", "madbench2"});
+  cfg.policy = GetParam();
+  cfg.use_scheme = true;
+  SimAuditor auditor;
+  const MultiExperimentResult r = run_multi_experiment(cfg, &auditor);
+  EXPECT_TRUE(auditor.clean()) << auditor.report();
+  EXPECT_TRUE(r.audited);
+  EXPECT_EQ(r.audit_violations, 0);
+  EXPECT_GT(r.makespan, 0);
+}
+
+TEST_P(MultiExperimentAudit, ConfigFlagAuditsWithoutThrowing) {
+  MultiExperimentConfig cfg = tiny({"sar", "madbench2"});
+  cfg.policy = GetParam();
+  cfg.audit = true;
+  const MultiExperimentResult r = run_multi_experiment(cfg);
+  EXPECT_GT(r.makespan, 0);
+}
+
+TEST_P(MultiExperimentAudit, AuditedRunMatchesUnauditedRun) {
+  MultiExperimentConfig cfg = tiny({"sar", "madbench2"});
+  cfg.policy = GetParam();
+  cfg.audit = false;
+  const MultiExperimentResult plain = run_multi_experiment(cfg);
+  SimAuditor auditor;
+  const MultiExperimentResult audited = run_multi_experiment(cfg, &auditor);
+  // Observation must not perturb the simulation.
+  EXPECT_EQ(plain.makespan, audited.makespan);
+  EXPECT_DOUBLE_EQ(plain.energy_j, audited.energy_j);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, MultiExperimentAudit,
+                         ::testing::Values(PolicyKind::kSimple,
+                                           PolicyKind::kPrediction,
+                                           PolicyKind::kHistory,
+                                           PolicyKind::kStaggered),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
 
 }  // namespace
 }  // namespace dasched

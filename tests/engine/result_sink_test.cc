@@ -1,0 +1,111 @@
+#include "engine/result_sink.h"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dasched {
+namespace {
+
+// Synthetic rows: the sink serializes whatever the runner hands it, so the
+// tests need no simulation.
+GridCellResult sample_row() {
+  GridCellResult row;
+  row.cell.index = 0;
+  row.cell.app = "sar";
+  row.cell.policy = PolicyKind::kHistory;
+  row.cell.scheme = true;
+  row.cell.has_sweep = true;
+  row.cell.sweep_name = "nodes";
+  row.cell.sweep_value = 16;
+  row.cell.config.seed = 42;
+  row.cell.config.scale.num_processes = 8;
+  row.cell.config.scale.factor = 0.5;
+  row.result.app = "sar";
+  row.result.policy = PolicyKind::kHistory;
+  row.result.scheme = true;
+  row.result.exec_time = sec(120.0);
+  row.result.energy_j = 1234.5;
+  row.result.events = 999;
+  row.result.audited = true;
+  return row;
+}
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+std::size_t count_fields(const std::string& csv_line) {
+  return static_cast<std::size_t>(std::count(csv_line.begin(), csv_line.end(),
+                                             ',')) + 1;
+}
+
+TEST(ResultSink, CsvHeaderAndRowsHaveMatchingArity) {
+  GridResultSet results({sample_row(), sample_row()});
+  std::ostringstream os;
+  write_csv(os, results);
+  const std::vector<std::string> lines = split_lines(os.str());
+  ASSERT_EQ(lines.size(), 3u);  // header + 2 rows
+  EXPECT_EQ(lines[0].rfind("app,policy,scheme", 0), 0u);
+  EXPECT_EQ(count_fields(lines[1]), count_fields(lines[0]));
+  EXPECT_EQ(count_fields(lines[2]), count_fields(lines[0]));
+}
+
+TEST(ResultSink, CsvRowCarriesCellLabels) {
+  GridResultSet results({sample_row()});
+  std::ostringstream os;
+  write_csv(os, results);
+  const std::string row = split_lines(os.str())[1];
+  EXPECT_EQ(row.rfind("sar,history,1,nodes,16", 0), 0u) << row;
+}
+
+TEST(ResultSink, JsonlEmitsOneObjectPerCell) {
+  GridResultSet results({sample_row(), sample_row()});
+  std::ostringstream os;
+  write_jsonl(os, results);
+  const std::vector<std::string> lines = split_lines(os.str());
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"app\":\"sar\""), std::string::npos);
+    EXPECT_NE(line.find("\"policy\":\"history\""), std::string::npos);
+    EXPECT_NE(line.find("\"scheme\":true"), std::string::npos);
+    EXPECT_NE(line.find("\"sweep\":\"nodes\""), std::string::npos);
+    EXPECT_NE(line.find("\"sweep_value\":16"), std::string::npos);
+    EXPECT_NE(line.find("\"seed\":42"), std::string::npos);
+    EXPECT_NE(line.find("\"energy_j\":1234.5"), std::string::npos);
+    EXPECT_NE(line.find("\"events\":999"), std::string::npos);
+    EXPECT_NE(line.find("\"audited\":true"), std::string::npos);
+  }
+}
+
+TEST(ResultSink, NonSweepRowLeavesSweepColumnsEmpty) {
+  GridCellResult row = sample_row();
+  row.cell.has_sweep = false;
+  GridResultSet results({row});
+  std::ostringstream csv;
+  write_csv(csv, results);
+  EXPECT_EQ(split_lines(csv.str())[1].rfind("sar,history,1,,", 0), 0u);
+  std::ostringstream jsonl;
+  write_jsonl(jsonl, results);
+  // JSONL simply omits the sweep keys for non-sweep cells.
+  EXPECT_EQ(jsonl.str().find("\"sweep\""), std::string::npos);
+}
+
+TEST(ResultSink, WriteResultFilesSkipsEmptyAndRejectsBadPaths) {
+  GridResultSet results({sample_row()});
+  EXPECT_NO_THROW(write_result_files(results, "", ""));
+  EXPECT_THROW(write_result_files(results, "/no/such/dir/x.csv", ""),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dasched

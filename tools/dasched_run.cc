@@ -1,23 +1,36 @@
-// dasched_run — command-line driver for single experiments.
+// dasched_run — command-line driver for single experiments and grids.
 //
-// Runs one (application, policy, scheme) configuration on the simulated
-// Table II cluster and prints a human-readable report, or a single CSV row
-// for scripting (`--csv` prints the header with `--csv-header`).
+// Single mode runs one (application, policy, scheme) configuration on the
+// simulated Table II cluster and prints a human-readable report, or a single
+// CSV row for scripting (`--csv` prints the header with `--csv-header`).
 //
 //   dasched_run --app sar --policy history --scheme
 //   dasched_run --app hf --policy simple --nodes 16 --scale 0.25
 //   dasched_run --csv-header; for p in simple history; do
 //     dasched_run --app sar --policy $p --csv; done
+//
+// Grid mode (`--grid`) declares the paper's cross product once and executes
+// it on the thread-parallel grid runner, emitting structured results:
+//
+//   dasched_run --grid --apps sar,apsi --policies default,history
+//     --schemes both --threads 8 --out-csv grid.csv --out-jsonl grid.jsonl
+//   dasched_run --grid --apps sar --policies history --schemes both
+//     --sweep nodes=2,4,8,16,32 --audit
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include <fstream>
 
 #include "check/audit.h"
 #include "compiler/trace_io.h"
 #include "driver/experiment.h"
+#include "engine/env_knobs.h"
+#include "engine/experiment_grid.h"
+#include "engine/grid_runner.h"
+#include "engine/result_sink.h"
 #include "util/table.h"
 
 using namespace dasched;
@@ -27,9 +40,26 @@ namespace {
 [[noreturn]] void usage(const char* argv0, int code) {
   std::printf(
       "usage: %s [options]\n"
+      "single-experiment mode:\n"
       "  --app NAME        hf|sar|astro|apsi|madbench2|wupwise (default sar)\n"
       "  --policy NAME     default|simple|prediction|history|staggered\n"
       "  --scheme          enable the compiler-directed scheduling framework\n"
+      "  --csv             print one CSV row instead of the report\n"
+      "  --csv-header      print the CSV header and exit\n"
+      "  --dump-trace F    write the workload's lowered trace to F and exit\n"
+      "grid mode:\n"
+      "  --grid            run a declarative experiment grid (see below)\n"
+      "  --apps A,B,..     application axis (default: all six)\n"
+      "  --policies P,..   policy axis (default: default,simple,prediction,\n"
+      "                    history,staggered)\n"
+      "  --schemes S       scheme axis: off|on|both (default off)\n"
+      "  --sweep AXIS=V,.. numeric axis: nodes|delta|theta|cache_mib|\n"
+      "                    buffer_mib|slack (e.g. --sweep nodes=2,4,8)\n"
+      "  --threads N       grid worker threads (default: DASCHED_GRID_THREADS,\n"
+      "                    then hardware concurrency)\n"
+      "  --out-csv F       write per-cell CSV to F ('-' = stdout)\n"
+      "  --out-jsonl F     write per-cell JSON lines to F ('-' = stdout)\n"
+      "shared knobs:\n"
       "  --procs N         client processes (default 32)\n"
       "  --scale F         workload scale factor (default 1.0)\n"
       "  --nodes N         I/O nodes (default 8)\n"
@@ -37,12 +67,8 @@ namespace {
       "  --theta N         per-node access cap, 0 = off (default 4)\n"
       "  --buffer MB       client prefetch buffer capacity (default 128)\n"
       "  --cache MB        per-node storage cache (default 64)\n"
-      "  --seed N          RNG seed (default 1)\n"
-      "  --audit           run the invariant auditor and print its report;\n"
-      "                    exits 1 when any invariant is violated\n"
-      "  --csv             print one CSV row instead of the report\n"
-      "  --csv-header      print the CSV header and exit\n"
-      "  --dump-trace F    write the workload's lowered trace to F and exit\n"
+      "  --seed N          RNG seed; grid cells derive per-cell seeds\n"
+      "  --audit           run the invariant auditor; exits 1 on violations\n"
       "  --help            this text\n",
       argv0);
   std::exit(code);
@@ -58,10 +84,67 @@ PolicyKind parse_policy(const std::string& name) {
   std::exit(2);
 }
 
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+double parse_number_or_die(const std::string& s, const char* what) {
+  const auto v = parse_double(s);
+  if (!v) {
+    std::fprintf(stderr, "%s: invalid number '%s'\n", what, s.c_str());
+    std::exit(2);
+  }
+  return *v;
+}
+
+int parse_int_or_die(const std::string& s, const char* what) {
+  const auto v = parse_int(s);
+  if (!v) {
+    std::fprintf(stderr, "%s: invalid integer '%s'\n", what, s.c_str());
+    std::exit(2);
+  }
+  return static_cast<int>(*v);
+}
+
 constexpr const char* kCsvHeader =
     "app,policy,scheme,procs,scale,nodes,exec_s,energy_j,spin_downs,"
     "spin_ups,rpm_changes,cache_hit_rate,prefetches,buffer_hits,"
     "direct_reads,events";
+
+int run_grid_mode(ExperimentGrid grid, const GridRunOptions& opts,
+                  const std::string& out_csv, const std::string& out_jsonl) {
+  const std::size_t total = grid.size();
+  std::fprintf(stderr, "[grid] %zu cells on %d threads\n", total,
+               resolve_grid_threads(opts.threads));
+  const GridResultSet results = run_grid(grid, opts);
+
+  TextTable table({"app", "policy", "scheme", "sweep", "exec (min)",
+                   "energy (kJ)", "events"});
+  for (const GridCellResult& row : results.rows()) {
+    table.add_row(
+        {row.cell.app, to_string(row.cell.policy),
+         row.cell.scheme ? "on" : "off",
+         row.cell.has_sweep
+             ? row.cell.sweep_name + "=" +
+                   TextTable::fmt(row.cell.sweep_value, 0)
+             : "-",
+         TextTable::fmt(row.result.exec_minutes(), 2),
+         TextTable::fmt(row.result.energy_j / 1'000.0, 2),
+         std::to_string(row.result.events)});
+  }
+  table.print();
+  write_result_files(results, out_csv, out_jsonl);
+  return 0;
+}
 
 }  // namespace
 
@@ -70,6 +153,14 @@ int main(int argc, char** argv) {
   cfg.app = "sar";
   bool csv = false;
   bool audit = false;
+  bool grid_mode = false;
+  std::vector<std::string> grid_apps;
+  std::vector<PolicyKind> grid_policies;
+  std::vector<bool> grid_schemes{false};
+  SweepAxis grid_sweep;
+  int grid_threads = 0;
+  std::string out_csv;
+  std::string out_jsonl;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -84,25 +175,73 @@ int main(int argc, char** argv) {
     } else if (arg == "--scheme") {
       cfg.use_scheme = true;
     } else if (arg == "--procs") {
-      cfg.scale.num_processes = std::atoi(value());
+      cfg.scale.num_processes = parse_int_or_die(value(), "--procs");
     } else if (arg == "--scale") {
-      cfg.scale.factor = std::atof(value());
+      cfg.scale.factor = parse_number_or_die(value(), "--scale");
     } else if (arg == "--nodes") {
-      cfg.storage.num_io_nodes = std::atoi(value());
+      cfg.storage.num_io_nodes = parse_int_or_die(value(), "--nodes");
     } else if (arg == "--delta") {
-      cfg.compile.sched.delta = std::atoi(value());
+      cfg.compile.sched.delta = parse_int_or_die(value(), "--delta");
     } else if (arg == "--theta") {
-      cfg.compile.sched.theta = std::atoi(value());
+      cfg.compile.sched.theta = parse_int_or_die(value(), "--theta");
     } else if (arg == "--buffer") {
-      cfg.runtime.buffer_capacity = mib(std::atoi(value()));
+      cfg.runtime.buffer_capacity = mib(parse_int_or_die(value(), "--buffer"));
     } else if (arg == "--cache") {
-      cfg.storage.node.cache_capacity = mib(std::atoi(value()));
+      cfg.storage.node.cache_capacity =
+          mib(parse_int_or_die(value(), "--cache"));
     } else if (arg == "--seed") {
-      cfg.seed = static_cast<std::uint64_t>(std::atoll(value()));
+      cfg.seed = static_cast<std::uint64_t>(
+          parse_int_or_die(value(), "--seed"));
     } else if (arg == "--audit") {
       audit = true;
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--grid") {
+      grid_mode = true;
+    } else if (arg == "--apps") {
+      grid_apps = split_list(value());
+    } else if (arg == "--policies") {
+      grid_policies.clear();
+      for (const std::string& p : split_list(value())) {
+        grid_policies.push_back(parse_policy(p));
+      }
+    } else if (arg == "--schemes") {
+      const std::string v = value();
+      if (v == "off") {
+        grid_schemes = {false};
+      } else if (v == "on") {
+        grid_schemes = {true};
+      } else if (v == "both") {
+        grid_schemes = {false, true};
+      } else {
+        std::fprintf(stderr, "--schemes: expected off|on|both, got '%s'\n",
+                     v.c_str());
+        return 2;
+      }
+    } else if (arg == "--sweep") {
+      const std::string v = value();
+      const std::size_t eq = v.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= v.size()) {
+        std::fprintf(stderr, "--sweep: expected AXIS=V1,V2,...; got '%s'\n",
+                     v.c_str());
+        return 2;
+      }
+      std::vector<double> values;
+      for (const std::string& s : split_list(v.substr(eq + 1))) {
+        values.push_back(parse_number_or_die(s, "--sweep"));
+      }
+      try {
+        grid_sweep = sweep_axis_by_name(v.substr(0, eq), std::move(values));
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "--sweep: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--threads") {
+      grid_threads = parse_int_or_die(value(), "--threads");
+    } else if (arg == "--out-csv") {
+      out_csv = value();
+    } else if (arg == "--out-jsonl") {
+      out_jsonl = value();
     } else if (arg == "--dump-trace") {
       const std::string path = value();
       StripingMap striping(cfg.storage.num_io_nodes, cfg.storage.stripe_size);
@@ -126,6 +265,34 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage(argv[0], 2);
+    }
+  }
+
+  if (grid_mode) {
+    ExperimentGrid grid;
+    grid.base = cfg;
+    grid.base_seed = cfg.seed;
+    grid.apps = grid_apps.empty()
+                    ? std::vector<std::string>{"hf", "sar", "astro", "apsi",
+                                               "madbench2", "wupwise"}
+                    : grid_apps;
+    grid.policies = grid_policies.empty()
+                        ? std::vector<PolicyKind>{PolicyKind::kNone,
+                                                  PolicyKind::kSimple,
+                                                  PolicyKind::kPrediction,
+                                                  PolicyKind::kHistory,
+                                                  PolicyKind::kStaggered}
+                        : grid_policies;
+    grid.schemes = grid_schemes;
+    grid.sweep = std::move(grid_sweep);
+    GridRunOptions opts;
+    opts.threads = grid_threads;
+    opts.audit = audit;
+    try {
+      return run_grid_mode(std::move(grid), opts, out_csv, out_jsonl);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "grid run failed: %s\n", e.what());
+      return 1;
     }
   }
 
