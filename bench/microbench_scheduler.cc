@@ -11,8 +11,10 @@
 
 #include "compiler/compile.h"
 #include "core/scheduler.h"
+#include "driver/experiment.h"
 #include "engine/grid_runner.h"
 #include "sim/simulator.h"
+#include "storage/storage_system.h"
 #include "util/rng.h"
 #include "workload/app.h"
 
@@ -190,6 +192,116 @@ BENCHMARK(BM_GridRunner)
     ->ArgNames({"threads"})
     ->MeasureProcessCPUTime()
     ->UseRealTime();
+
+// --------------------------------------------------------------------------
+// Storage data path (StorageSystem::route -> IoNode -> RaidLayout -> Disk).
+// These benches pin the per-request cost of the storage fast path; the
+// recorded A/B numbers live in BENCH_storage_path.json.
+// --------------------------------------------------------------------------
+
+/// Steady-state cached reads: every block is resident after warm-up, so each
+/// request costs route + network events + cache lookup + join, no disk.
+void BM_StoragePathCachedRead(benchmark::State& state) {
+  Simulator sim;
+  StorageSystem storage(sim, StorageConfig{});  // Table II defaults
+  constexpr int kBlocks = 512;                  // 32 MiB working set, fits
+  const FileId f = storage.create_file("hot", kib(64) * kBlocks);
+  std::int64_t completed = 0;
+  for (int i = 0; i < kBlocks; ++i) {           // warm the node caches
+    storage.read(f, static_cast<Bytes>(i) * kib(64), kib(64),
+                 [&completed] { ++completed; });
+  }
+  sim.run();
+  constexpr int kReadsPerIter = 1'024;
+  for (auto _ : state) {
+    for (int i = 0; i < kReadsPerIter; ++i) {
+      storage.read(f, static_cast<Bytes>(i % kBlocks) * kib(64), kib(64),
+                   [&completed] { ++completed; });
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(completed);
+  state.SetItemsProcessed(state.iterations() * kReadsPerIter);
+}
+BENCHMARK(BM_StoragePathCachedRead)->Unit(benchmark::kMillisecond);
+
+/// Cache-miss stream: tiny node caches + a file far larger than they hold,
+/// so nearly every read walks the full miss path (LRU eviction, RAID map,
+/// elevator queue, disk service, sequential prefetch).
+void BM_StoragePathDiskMiss(benchmark::State& state) {
+  Simulator sim;
+  StorageConfig cfg;
+  cfg.node.cache_capacity = mib(1);  // 16 blocks per node
+  StorageSystem storage(sim, cfg);
+  constexpr int kBlocks = 8'192;     // 512 MiB file
+  const FileId f = storage.create_file("cold", kib(64) * kBlocks);
+  std::int64_t completed = 0;
+  std::int64_t pos = 0;
+  constexpr int kReadsPerIter = 512;
+  for (auto _ : state) {
+    for (int i = 0; i < kReadsPerIter; ++i) {
+      storage.read(f, static_cast<Bytes>(pos % kBlocks) * kib(64), kib(64),
+                   [&completed] { ++completed; });
+      pos += 1;
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(completed);
+  state.SetItemsProcessed(state.iterations() * kReadsPerIter);
+}
+BENCHMARK(BM_StoragePathDiskMiss)->Unit(benchmark::kMillisecond);
+
+/// Ack-early write bursts over random offsets: the cache absorbs the writes
+/// while the per-disk elevator queues sort and drain the background flushes.
+void BM_StoragePathWriteBurst(benchmark::State& state) {
+  Simulator sim;
+  StorageConfig cfg;
+  cfg.node.cache_capacity = mib(4);
+  StorageSystem storage(sim, cfg);
+  constexpr int kBlocks = 4'096;
+  const FileId f = storage.create_file("wb", kib(64) * kBlocks);
+  Rng rng(99);
+  std::vector<Bytes> offsets(2'048);
+  for (Bytes& o : offsets) {
+    o = static_cast<Bytes>(rng.next_below(kBlocks)) * kib(64);
+  }
+  std::int64_t completed = 0;
+  for (auto _ : state) {
+    for (const Bytes o : offsets) {
+      storage.write(f, o, kib(64), [&completed] { ++completed; });
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(completed);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(offsets.size()));
+}
+BENCHMARK(BM_StoragePathWriteBurst)->Unit(benchmark::kMillisecond);
+
+/// End-to-end default-config grid cell (the BM_GridRunner cell shape): one
+/// full experiment — workload build, compile, simulate — per iteration.
+/// items/sec = cells/sec; this is the number the storage-path rewrite lifts.
+void BM_StoragePathGridCell(benchmark::State& state) {
+  ExperimentConfig cfg;
+  cfg.app = state.range(0) == 0 ? "sar" : "madbench2";
+  cfg.scale.num_processes = 8;
+  cfg.scale.factor = 0.2;
+  cfg.policy = PolicyKind::kHistory;
+  cfg.use_scheme = state.range(1) != 0;
+  std::int64_t cells = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_experiment(cfg));
+    cells += 1;
+  }
+  state.SetItemsProcessed(cells);
+}
+BENCHMARK(BM_StoragePathGridCell)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"madbench2", "scheme"});
 
 void BM_ReuseFactor(benchmark::State& state) {
   AccessScheduler sched(8, 1'000, ScheduleOptions{.delta = 20});

@@ -6,7 +6,7 @@ namespace dasched {
 
 void StorageAccountingCheck::on_request_routed(
     FileId f, Bytes offset, Bytes size, bool is_write,
-    const std::vector<StripePiece>& pieces) {
+    std::span<const StripePiece> pieces) {
   routing_seen_ = true;
   for (const StripePiece& p : pieces) {
     auto& routed = routed_[p.io_node];

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 
 #include "check/audit.h"
@@ -35,7 +36,7 @@ class StorageAccountingCheck final : public InvariantCheck,
 
   // StorageObserver ----------------------------------------------------------
   void on_request_routed(FileId f, Bytes offset, Bytes size, bool is_write,
-                         const std::vector<StripePiece>& pieces) override;
+                         std::span<const StripePiece> pieces) override;
 
   // IoNodeObserver -----------------------------------------------------------
   void on_read(const IoNode& node, Bytes offset, Bytes size,

@@ -100,9 +100,11 @@ void Disk::submit(DiskRequest req) {
     stats_.bytes_read += req.size;
   }
   if (req.background) {
-    background_queue_.emplace(req.offset, std::move(req));
+    const Bytes off = req.offset;
+    background_queue_.push(off, std::move(req));
   } else {
-    queue_.emplace(req.offset, std::move(req));
+    const Bytes off = req.offset;
+    queue_.push(off, std::move(req));
   }
   if (policy_ != nullptr) policy_->on_request_arrival();
   try_progress();
@@ -217,21 +219,20 @@ void Disk::start_service() {
   auto& q = queue_.empty() ? background_queue_ : queue_;
 
   // Elevator (SCAN): continue in the sweep direction, reverse at the end.
-  auto it = q.lower_bound(head_pos_);
+  std::size_t i = q.first_at_or_above(head_pos_);
   if (sweep_up_) {
-    if (it == q.end()) {
+    if (i == q.size()) {
       sweep_up_ = false;
-      it = std::prev(q.end());
+      i = q.size() - 1;
     }
   } else {
-    if (it == q.begin() && it->first >= head_pos_) {
+    if (i == 0 && q.offset_at(0) >= head_pos_) {
       sweep_up_ = true;
-    } else if (it == q.end() || it->first > head_pos_) {
-      --it;
+    } else if (i == q.size() || q.offset_at(i) > head_pos_) {
+      --i;
     }
   }
-  DiskRequest req = std::move(it->second);
-  q.erase(it);
+  DiskRequest req = q.take(i);
   if (observer_ != nullptr) observer_->on_service_start(*this, req);
 
   const Bytes dist = req.offset > head_pos_ ? req.offset - head_pos_
@@ -268,9 +269,14 @@ void Disk::start_service() {
   head_pos_ = req.offset + req.size;
   if (head_pos_ >= params_.capacity) head_pos_ = params_.capacity - 1;
 
-  sim_.schedule_after(total, [this, total,
-                              cb = std::move(req.on_complete)]() mutable {
+  // The completion is parked in a member rather than captured: nesting an
+  // EventFn inside the completion event's capture would overflow the inline
+  // buffer and heap-allocate.  Safe because service is strictly one-at-a-
+  // time — the member is vacant until this event fires.
+  in_service_complete_ = std::move(req.on_complete);
+  sim_.schedule_after(total, [this, total] {
     stats_.busy_time += total;
+    EventFn cb = std::move(in_service_complete_);
     if (queue_empty()) {
       enter_state(DiskState::kIdle);
       stream_idle_ = true;

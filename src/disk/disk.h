@@ -15,13 +15,10 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
-#include <map>
-#include <memory>
-#include <optional>
 #include <string>
 
 #include "disk/disk_params.h"
+#include "disk/elevator_queue.h"
 #include "disk/power_model.h"
 #include "sim/simulator.h"
 #include "util/histogram.h"
@@ -60,8 +57,9 @@ struct DiskRequest {
   /// Background transfers (cache/readahead prefetch) yield to demand
   /// requests: the arm serves the demand queue first.
   bool background = false;
-  /// Invoked at the simulated completion instant.
-  std::function<void()> on_complete;
+  /// Invoked at the simulated completion instant.  Small-buffer `EventFn`
+  /// (not `std::function`), so pooled-join completions ride inline.
+  EventFn on_complete;
 };
 
 enum class DiskState : int;
@@ -220,12 +218,16 @@ class Disk {
   SimTime spin_down_started_ = 0;
   EventHandle spin_down_event_;
 
-  // Elevator queues (demand first, background second): requests keyed by
-  // disk offset, plus a sweep direction.
-  std::multimap<Bytes, DiskRequest> queue_;
-  std::multimap<Bytes, DiskRequest> background_queue_;
+  // Elevator queues (demand first, background second): flat sorted indices
+  // over pooled request slabs, keyed by disk offset, plus a sweep direction.
+  ElevatorQueue<DiskRequest> queue_;
+  ElevatorQueue<DiskRequest> background_queue_;
   bool sweep_up_ = true;
   Bytes head_pos_ = 0;
+  /// Completion of the request currently in mechanical service (the disk
+  /// serves one request at a time); parked here so the completion event's
+  /// capture stays small enough for the inline `EventFn` buffer.
+  EventFn in_service_complete_;
 
   bool stream_idle_ = true;
   SimTime stream_idle_since_ = 0;

@@ -1,0 +1,83 @@
+// Flat SCAN/elevator request queue for the disk model.
+//
+// Replaces the node-per-entry `std::multimap<Bytes, DiskRequest>`: a sorted
+// index of 24-byte (offset, seq, slot) entries over a pooled slab of request
+// records.  `seq` is a per-queue arrival counter, so requests at equal
+// offsets keep multimap's FIFO iteration order and the elevator sweep in
+// `Disk::start_service` picks bit-identically the same request.  Both the
+// index and the slab recycle their storage — steady-state enqueue/dequeue
+// never allocates.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "util/units.h"
+
+namespace dasched {
+
+template <typename Request>
+class ElevatorQueue {
+ public:
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Enqueues a request keyed by its disk offset (FIFO among equal offsets).
+  void push(Bytes offset, Request req) {
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      slab_[slot] = std::move(req);
+    } else {
+      slot = static_cast<std::uint32_t>(slab_.size());
+      slab_.push_back(std::move(req));
+    }
+    const Entry entry{offset, next_seq_++, slot};
+    const auto at = std::upper_bound(
+        entries_.begin(), entries_.end(), offset,
+        [](Bytes off, const Entry& e) { return off < e.offset; });
+    entries_.insert(at, entry);
+  }
+
+  /// Index of the first request at or above `offset` (`size()` if none) —
+  /// the flat analogue of `multimap::lower_bound`.
+  [[nodiscard]] std::size_t first_at_or_above(Bytes offset) const {
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), offset,
+        [](const Entry& e, Bytes off) { return e.offset < off; });
+    return static_cast<std::size_t>(it - entries_.begin());
+  }
+
+  [[nodiscard]] Bytes offset_at(std::size_t i) const {
+    assert(i < entries_.size());
+    return entries_[i].offset;
+  }
+
+  /// Removes and returns the request at index `i`; its slab slot is
+  /// recycled.
+  Request take(std::size_t i) {
+    assert(i < entries_.size());
+    const std::uint32_t slot = entries_[i].slot;
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    Request out = std::move(slab_[slot]);
+    free_slots_.push_back(slot);
+    return out;
+  }
+
+ private:
+  struct Entry {
+    Bytes offset;
+    std::uint64_t seq;  // arrival order; unused beyond keeping sorts stable
+    std::uint32_t slot;
+  };
+
+  std::vector<Entry> entries_;  // sorted by (offset, seq)
+  std::vector<Request> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dasched

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cassert>
-#include <functional>
 #include <string>
 #include <unordered_map>
 
@@ -30,14 +29,12 @@ class MpiIo {
   }
 
   /// MPI_File_read_at: explicit-offset read; `done` fires at completion.
-  void file_read_at(FileId fh, Bytes offset, Bytes size,
-                    std::function<void()> done) {
+  void file_read_at(FileId fh, Bytes offset, Bytes size, EventFn done) {
     storage_.read(fh, offset, size, std::move(done));
   }
 
   /// MPI_File_write_at: explicit-offset write.
-  void file_write_at(FileId fh, Bytes offset, Bytes size,
-                     std::function<void()> done) {
+  void file_write_at(FileId fh, Bytes offset, Bytes size, EventFn done) {
     storage_.write(fh, offset, size, std::move(done));
   }
 

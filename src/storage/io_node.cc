@@ -2,21 +2,9 @@
 
 #include <cassert>
 #include <memory>
+#include <utility>
 
 namespace dasched {
-
-namespace {
-/// Completion barrier: fires `done` when all registered sub-operations and
-/// the initial guard have completed.
-struct Join {
-  int outstanding = 1;  // guard released by the issuer
-  std::function<void()> done;
-
-  void arrive() {
-    if (--outstanding == 0 && done) done();
-  }
-};
-}  // namespace
 
 IoNode::IoNode(Simulator& sim, IoNodeConfig cfg, int node_id, std::uint64_t seed)
     : sim_(sim),
@@ -32,37 +20,49 @@ IoNode::IoNode(Simulator& sim, IoNodeConfig cfg, int node_id, std::uint64_t seed
   }
 }
 
-void IoNode::issue_disk_ops(const std::vector<DiskOp>& ops,
-                            const std::shared_ptr<std::function<void()>>& barrier,
-                            int* outstanding, bool background) {
-  if (observer_ != nullptr) observer_->on_disk_ops_issued(*this, ops.size());
-  for (const DiskOp& op : ops) {
+void IoNode::fill_scratch_ops(Bytes offset, Bytes size, bool is_write) {
+  scratch_ops_.clear();
+  raid_.for_each_op(offset, size, is_write,
+                    [this](const DiskOp& op) { scratch_ops_.push_back(op); });
+}
+
+void IoNode::issue_disk_ops(JoinId join, bool background) {
+  if (observer_ != nullptr) {
+    observer_->on_disk_ops_issued(*this, scratch_ops_.size());
+  }
+  // Disk::submit never runs completions synchronously, so `scratch_ops_`
+  // cannot be clobbered by re-entry while we iterate it.
+  for (const DiskOp& op : scratch_ops_) {
     assert(op.disk >= 0 && op.disk < num_disks());
-    if (outstanding != nullptr) *outstanding += 1;
+    EventFn on_complete;
+    if (join) {
+      join_pool_.add(join);
+      on_complete = EventFn([this, join] { join_pool_.arrive(join); });
+    }
     disks_[static_cast<std::size_t>(op.disk)]->submit(DiskRequest{
-        op.offset, op.size, op.is_write, background,
-        barrier ? [barrier] { (*barrier)(); } : std::function<void()>{}});
+        op.offset, op.size, op.is_write, background, std::move(on_complete)});
   }
 }
 
 void IoNode::prefetch_after_miss(Bytes block_offset) {
   if (cfg_.prefetch_depth <= 0) return;
-  for (Bytes next : cache_.prefetch_candidates(block_offset, cfg_.prefetch_depth)) {
+  // Snapshot the candidates before inserting any of them: an insert can
+  // evict a block that a later candidate would have found cached.
+  StorageCache::PrefetchList candidates;
+  cache_.prefetch_candidates(block_offset, cfg_.prefetch_depth, candidates);
+  for (const Bytes next : candidates) {
     if (observer_ != nullptr) observer_->on_prefetch_issued(*this, next);
     cache_.insert(next);
     // Fire-and-forget disk reads; nobody waits on prefetches.
-    auto ops = raid_.map(next, cache_.block_size(), /*is_write=*/false);
-    issue_disk_ops(ops, nullptr, nullptr, /*background=*/true);
+    fill_scratch_ops(next, cache_.block_size(), /*is_write=*/false);
+    issue_disk_ops(JoinId{}, /*background=*/true);
   }
 }
 
-void IoNode::read(Bytes offset, Bytes size, std::function<void()> done,
-                  bool background) {
+void IoNode::read(Bytes offset, Bytes size, EventFn done, bool background) {
   assert(offset >= 0 && size > 0);
   if (observer_ != nullptr) observer_->on_read(*this, offset, size, background);
-  auto join = std::make_shared<Join>();
-  join->done = std::move(done);
-  auto barrier = std::make_shared<std::function<void()>>([join] { join->arrive(); });
+  const JoinId join = join_pool_.open(std::move(done));
 
   const Bytes first = cache_.align(offset);
   const Bytes last = cache_.align(offset + size - 1);
@@ -70,28 +70,29 @@ void IoNode::read(Bytes offset, Bytes size, std::function<void()> done,
     const bool hit = cache_.lookup(b);
     if (observer_ != nullptr) observer_->on_block_lookup(*this, b, hit);
     if (hit) {
-      join->outstanding += 1;
-      sim_.schedule_after(cfg_.cache_hit_latency, [barrier] { (*barrier)(); });
+      join_pool_.add(join);
+      sim_.schedule_after(cfg_.cache_hit_latency,
+                          [this, join] { join_pool_.arrive(join); });
     } else {
       // Whole-block fill, as real storage caches do.
       cache_.insert(b);
-      const auto ops = raid_.map(b, cache_.block_size(), /*is_write=*/false);
-      issue_disk_ops(ops, barrier, &join->outstanding, background);
+      fill_scratch_ops(b, cache_.block_size(), /*is_write=*/false);
+      issue_disk_ops(join, background);
       prefetch_after_miss(b);
     }
   }
-  join->arrive();  // release the guard
+  join_pool_.arrive(join);  // release the guard
 }
 
-void IoNode::write(Bytes offset, Bytes size, std::function<void()> done) {
+void IoNode::write(Bytes offset, Bytes size, EventFn done) {
   assert(offset >= 0 && size > 0);
   if (observer_ != nullptr) observer_->on_write(*this, offset, size);
   // Ack-early write-behind: the storage cache absorbs the write and the
   // client continues after the cache latency; the disk writes drain in the
   // background.  (AccuSim's server caches behave the same way; this is what
   // keeps disks busy through write bursts instead of lock-stepping clients.)
-  const auto ops = raid_.map(offset, size, /*is_write=*/true);
-  issue_disk_ops(ops, nullptr, nullptr);
+  fill_scratch_ops(offset, size, /*is_write=*/true);
+  issue_disk_ops(JoinId{});
 
   const Bytes first = cache_.align(offset);
   const Bytes last = cache_.align(offset + size - 1);

@@ -9,13 +9,13 @@
 // here because all of a node's disks see the same request stream envelope.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "disk/disk.h"
 #include "power/policies.h"
 #include "sim/simulator.h"
+#include "storage/join_pool.h"
 #include "storage/raid.h"
 #include "storage/storage_cache.h"
 #include "util/units.h"
@@ -100,12 +100,11 @@ class IoNode {
   /// Node-local read; `done` fires when every block of the range is
   /// available (cache hit or disk completion).  Background reads (runtime
   /// prefetches) yield to demand traffic at the disks.
-  void read(Bytes offset, Bytes size, std::function<void()> done,
-            bool background = false);
+  void read(Bytes offset, Bytes size, EventFn done, bool background = false);
 
   /// Node-local write: the cache absorbs it (ack-early) and the disk writes
   /// drain in the background; `done` fires after the cache latency.
-  void write(Bytes offset, Bytes size, std::function<void()> done);
+  void write(Bytes offset, Bytes size, EventFn done);
 
   /// Attaches an audit observer (null to detach).  Not owned.
   void set_observer(IoNodeObserver* observer) { observer_ = observer; }
@@ -124,9 +123,13 @@ class IoNode {
   IoNodeStats finalize();
 
  private:
-  void issue_disk_ops(const std::vector<DiskOp>& ops,
-                      const std::shared_ptr<std::function<void()>>& barrier,
-                      int* outstanding, bool background = false);
+  /// Expands [offset, offset+size) through the RAID layout into
+  /// `scratch_ops_` (reused across requests; never reallocated in steady
+  /// state).
+  void fill_scratch_ops(Bytes offset, Bytes size, bool is_write);
+  /// Submits `scratch_ops_` to the disks.  A valid `join` gets one arrival
+  /// registered per op; an invalid one makes the ops fire-and-forget.
+  void issue_disk_ops(JoinId join, bool background = false);
   void prefetch_after_miss(Bytes block_offset);
 
   Simulator& sim_;
@@ -137,6 +140,8 @@ class IoNode {
   RaidLayout raid_;
   std::vector<std::unique_ptr<Disk>> disks_;
   std::vector<std::unique_ptr<PowerPolicy>> policies_;
+  JoinPool join_pool_;
+  std::vector<DiskOp> scratch_ops_;
 };
 
 }  // namespace dasched

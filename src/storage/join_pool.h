@@ -1,0 +1,99 @@
+// Pooled completion barriers for the storage data path.
+//
+// A join fires its completion once every registered sub-operation (plus the
+// issuer's guard) has arrived.  The records live in a recycled slot array
+// mirroring the simulator's event pool: steady-state request fan-out costs
+// zero heap allocations, and the 8-byte generation-counted `JoinId` rides
+// inline inside `EventFn` captures where a `shared_ptr<Join>` used to force
+// a control block per request.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_fn.h"
+
+namespace dasched {
+
+/// Generation-counted handle into a `JoinPool`.  Trivially copyable; a
+/// default-constructed id is invalid (used for fire-and-forget operations).
+struct JoinId {
+  std::uint32_t slot = kInvalidSlot;
+  std::uint32_t gen = 0;
+
+  static constexpr std::uint32_t kInvalidSlot = 0xffffffffU;
+
+  [[nodiscard]] explicit operator bool() const { return slot != kInvalidSlot; }
+};
+
+class JoinPool {
+ public:
+  JoinPool() = default;
+  JoinPool(const JoinPool&) = delete;
+  JoinPool& operator=(const JoinPool&) = delete;
+
+  /// Opens a join holding `done` with the issuer's guard as the only
+  /// outstanding arrival.  Balance with a final `arrive` once all
+  /// sub-operations are registered.
+  JoinId open(EventFn done) {
+    const std::uint32_t slot = acquire_slot();
+    Record& rec = records_[slot];
+    rec.done = std::move(done);
+    rec.outstanding = 1;
+    return JoinId{slot, rec.gen};
+  }
+
+  /// Registers one more arrival the join must wait for.
+  void add(JoinId id) {
+    Record& rec = live(id);
+    rec.outstanding += 1;
+  }
+
+  /// One arrival happened; at zero outstanding the completion fires and the
+  /// record is recycled (before the callback runs — it may re-enter the
+  /// pool).
+  void arrive(JoinId id) {
+    Record& rec = live(id);
+    if (--rec.outstanding > 0) return;
+    EventFn done = std::move(rec.done);
+    rec.done = EventFn();
+    ++rec.gen;
+    free_slots_.push_back(id.slot);
+    if (done) done();
+  }
+
+  /// Joins currently open (test/debug aid).
+  [[nodiscard]] std::size_t live_count() const {
+    return records_.size() - free_slots_.size();
+  }
+
+ private:
+  struct Record {
+    EventFn done;
+    int outstanding = 0;
+    std::uint32_t gen = 0;
+  };
+
+  std::uint32_t acquire_slot() {
+    if (!free_slots_.empty()) {
+      const std::uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      return slot;
+    }
+    records_.emplace_back();
+    return static_cast<std::uint32_t>(records_.size() - 1);
+  }
+
+  Record& live(JoinId id) {
+    assert(id && id.slot < records_.size());
+    Record& rec = records_[id.slot];
+    assert(rec.gen == id.gen && "stale JoinId");
+    return rec;
+  }
+
+  std::vector<Record> records_;
+  std::vector<std::uint32_t> free_slots_;
+};
+
+}  // namespace dasched

@@ -31,7 +31,7 @@ double RaidLayout::capacity_factor() const {
 }
 
 void RaidLayout::map_chunk(std::int64_t chunk, Bytes in_chunk, Bytes len,
-                           bool is_write, std::vector<DiskOp>& out) {
+                           bool is_write, ChunkOps& out) {
   switch (level_) {
     case RaidLevel::kRaid0: {
       const int disk = static_cast<int>(chunk % num_disks_);
@@ -67,17 +67,9 @@ void RaidLayout::map_chunk(std::int64_t chunk, Bytes in_chunk, Bytes len,
 }
 
 std::vector<DiskOp> RaidLayout::map(Bytes offset, Bytes size, bool is_write) {
-  assert(offset >= 0 && size > 0);
   std::vector<DiskOp> out;
-  Bytes pos = offset;
-  const Bytes end = offset + size;
-  while (pos < end) {
-    const std::int64_t chunk = pos / chunk_size_;
-    const Bytes in_chunk = pos % chunk_size_;
-    const Bytes len = std::min(end - pos, chunk_size_ - in_chunk);
-    map_chunk(chunk, in_chunk, len, is_write, out);
-    pos += len;
-  }
+  for_each_op(offset, size, is_write,
+              [&out](const DiskOp& op) { out.push_back(op); });
   return out;
 }
 

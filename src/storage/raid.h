@@ -8,11 +8,18 @@
 //   * RAID 5  — rotating parity: reads hit the data disk; writes hit the
 //     data disk plus the row's parity disk (read-modify-write collapsed to
 //     the two writes, the standard simulation shortcut).
+//
+// The hot path visits ops with `for_each_op` (each chunk expands into at
+// most two ops, held in an `InlineVec` on the stack); the vector-returning
+// `map` exists for tests.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
+#include "util/inline_vec.h"
 #include "util/units.h"
 
 namespace dasched {
@@ -30,12 +37,34 @@ struct DiskOp {
 
 class RaidLayout {
  public:
+  /// Every chunk expands into at most this many per-disk ops (RAID 10
+  /// mirror writes / RAID 5 data + parity).
+  using ChunkOps = InlineVec<DiskOp, 2>;
+
   /// `chunk_size` is the per-disk striping unit inside the node.
   RaidLayout(RaidLevel level, int num_disks, Bytes chunk_size);
 
-  /// Per-disk operations implementing a node-local read or write of
-  /// [offset, offset+size).  Deterministic; mirror reads alternate via an
-  /// internal counter.
+  /// Visits the per-disk operations implementing a node-local read or write
+  /// of [offset, offset+size), in chunk order.  Deterministic; mirror reads
+  /// alternate via an internal counter.
+  template <typename Visitor>
+  void for_each_op(Bytes offset, Bytes size, bool is_write, Visitor&& visit) {
+    assert(offset >= 0 && size > 0);
+    Bytes pos = offset;
+    const Bytes end = offset + size;
+    while (pos < end) {
+      const std::int64_t chunk = pos / chunk_size_;
+      const Bytes in_chunk = pos % chunk_size_;
+      const Bytes len = std::min(end - pos, chunk_size_ - in_chunk);
+      ChunkOps ops;
+      map_chunk(chunk, in_chunk, len, is_write, ops);
+      for (const DiskOp& op : ops) visit(op);
+      pos += len;
+    }
+  }
+
+  /// Materialized form of `for_each_op` for tests; the I/O node never calls
+  /// it.
   [[nodiscard]] std::vector<DiskOp> map(Bytes offset, Bytes size, bool is_write);
 
   [[nodiscard]] RaidLevel level() const { return level_; }
@@ -47,7 +76,7 @@ class RaidLayout {
 
  private:
   void map_chunk(std::int64_t chunk, Bytes in_chunk, Bytes len, bool is_write,
-                 std::vector<DiskOp>& out);
+                 ChunkOps& out);
 
   RaidLevel level_;
   int num_disks_;

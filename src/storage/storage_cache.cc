@@ -1,61 +1,177 @@
 #include "storage/storage_cache.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace dasched {
+
+namespace {
+/// splitmix64 finalizer — block offsets are multiples of the block size, so
+/// the low bits need scrambling before masking into the table.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
 
 StorageCache::StorageCache(Bytes capacity, Bytes block_size)
     : block_size_(block_size),
       max_blocks_(static_cast<std::size_t>(capacity / block_size)) {
   assert(block_size > 0 && max_blocks_ >= 1);
+  slots_.resize(max_blocks_);
+  free_slots_.reserve(max_blocks_);
+  // Open addressing at <= 50% load: the next power of two holding twice the
+  // block count.  Sized once here; no rehash ever happens.
+  std::size_t table_size = 16;
+  while (table_size < max_blocks_ * 2) table_size *= 2;
+  table_.assign(table_size, kNil);
+  table_mask_ = table_size - 1;
+}
+
+std::size_t StorageCache::hash_index(Bytes key) const {
+  return static_cast<std::size_t>(mix(static_cast<std::uint64_t>(key))) &
+         table_mask_;
+}
+
+std::size_t StorageCache::probe(Bytes key) const {
+  std::size_t i = hash_index(key);
+  while (table_[i] != kNil && slots_[static_cast<std::size_t>(table_[i])].key != key) {
+    i = (i + 1) & table_mask_;
+  }
+  return i;
+}
+
+std::int32_t StorageCache::find_slot(Bytes key) const {
+  return table_[probe(key)];
+}
+
+void StorageCache::table_insert(Bytes key, std::int32_t slot) {
+  const std::size_t i = probe(key);
+  assert(table_[i] == kNil);
+  table_[i] = slot;
+}
+
+void StorageCache::table_erase(Bytes key) {
+  // Backward-shift deletion keeps probe chains contiguous without
+  // tombstones: after emptying position `i`, any later entry whose home
+  // position lies outside (i, j] cyclically is moved back into the hole.
+  std::size_t i = probe(key);
+  assert(table_[i] != kNil);
+  std::size_t j = i;
+  for (;;) {
+    table_[i] = kNil;
+    for (;;) {
+      j = (j + 1) & table_mask_;
+      if (table_[j] == kNil) return;
+      const std::size_t home =
+          hash_index(slots_[static_cast<std::size_t>(table_[j])].key);
+      const bool movable =
+          i <= j ? (home <= i || home > j) : (home <= i && home > j);
+      if (movable) break;
+    }
+    table_[i] = table_[j];
+    i = j;
+  }
+}
+
+void StorageCache::unlink(std::int32_t slot) {
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  if (s.prev != kNil) {
+    slots_[static_cast<std::size_t>(s.prev)].next = s.next;
+  } else {
+    head_ = s.next;
+  }
+  if (s.next != kNil) {
+    slots_[static_cast<std::size_t>(s.next)].prev = s.prev;
+  } else {
+    tail_ = s.prev;
+  }
+  s.prev = s.next = kNil;
+}
+
+void StorageCache::link_front(std::int32_t slot) {
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  s.prev = kNil;
+  s.next = head_;
+  if (head_ != kNil) slots_[static_cast<std::size_t>(head_)].prev = slot;
+  head_ = slot;
+  if (tail_ == kNil) tail_ = slot;
+}
+
+void StorageCache::touch(std::int32_t slot) {
+  if (head_ == slot) return;
+  unlink(slot);
+  link_front(slot);
 }
 
 bool StorageCache::lookup(Bytes block_offset) {
-  const auto it = map_.find(block_offset);
-  if (it == map_.end()) {
+  const std::int32_t slot = find_slot(block_offset);
+  if (slot == kNil) {
     stats_.misses += 1;
     return false;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);
+  touch(slot);
   stats_.hits += 1;
   return true;
 }
 
 bool StorageCache::contains(Bytes block_offset) const {
-  return map_.contains(block_offset);
+  return find_slot(block_offset) != kNil;
 }
 
 void StorageCache::insert(Bytes block_offset) {
-  const auto it = map_.find(block_offset);
-  if (it != map_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
+  const std::int32_t present = find_slot(block_offset);
+  if (present != kNil) {
+    touch(present);
     return;
   }
-  if (map_.size() >= max_blocks_) {
-    const Bytes victim = lru_.back();
-    lru_.pop_back();
-    map_.erase(victim);
+  std::int32_t slot;
+  if (count_ >= max_blocks_) {
+    // Recycle the least-recently-used slot in place.
+    slot = tail_;
+    table_erase(slots_[static_cast<std::size_t>(slot)].key);
+    unlink(slot);
+    count_ -= 1;
     stats_.evictions += 1;
+  } else if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = next_unused_++;
   }
-  lru_.push_front(block_offset);
-  map_[block_offset] = lru_.begin();
+  slots_[static_cast<std::size_t>(slot)].key = block_offset;
+  link_front(slot);
+  table_insert(block_offset, slot);
+  count_ += 1;
   stats_.insertions += 1;
 }
 
 void StorageCache::invalidate(Bytes block_offset) {
-  const auto it = map_.find(block_offset);
-  if (it == map_.end()) return;
-  lru_.erase(it->second);
-  map_.erase(it);
+  const std::int32_t slot = find_slot(block_offset);
+  if (slot == kNil) return;
+  table_erase(block_offset);
+  unlink(slot);
+  free_slots_.push_back(slot);
+  count_ -= 1;
   stats_.invalidations += 1;
 }
 
-std::vector<Bytes> StorageCache::prefetch_candidates(Bytes block_offset,
-                                                     int depth) const {
-  std::vector<Bytes> out;
-  for (int k = 1; k <= depth; ++k) {
+void StorageCache::prefetch_candidates(Bytes block_offset, int depth,
+                                       PrefetchList& out) const {
+  const int capped = std::min(depth, kMaxPrefetchDepth);
+  for (int k = 1; k <= capped; ++k) {
     const Bytes next = block_offset + k * block_size_;
-    if (!map_.contains(next)) out.push_back(next);
+    if (!contains(next)) out.push_back(next);
+  }
+}
+
+std::vector<Bytes> StorageCache::keys_mru_first() const {
+  std::vector<Bytes> out;
+  out.reserve(count_);
+  for (std::int32_t s = head_; s != kNil;
+       s = slots_[static_cast<std::size_t>(s)].next) {
+    out.push_back(slots_[static_cast<std::size_t>(s)].key);
   }
   return out;
 }

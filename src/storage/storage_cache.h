@@ -2,16 +2,18 @@
 //
 // A block-granular LRU cache over node-local offsets.  Pure bookkeeping —
 // timing lives in `IoNode`, which consults the cache to decide whether a
-// block access reaches the disks at all.  Sequential prefetch decisions are
-// also made here (`prefetch_candidates`), mirroring AccuSim's server-side
-// storage caches "with I/O prefetching".
+// block access reaches the disks at all.  The LRU is a flat slot array
+// (intrusive prev/next indices) over an open-addressing table, both sized
+// once from the fixed block count, so lookups, insertions and evictions
+// never allocate.  Sequential prefetch decisions are also made here
+// (`prefetch_candidates`), mirroring AccuSim's server-side storage caches
+// "with I/O prefetching".
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
+#include "util/inline_vec.h"
 #include "util/units.h"
 
 namespace dasched {
@@ -31,6 +33,10 @@ struct CacheStats {
 
 class StorageCache {
  public:
+  /// Hard cap on the sequential prefetch depth a single miss may request.
+  static constexpr int kMaxPrefetchDepth = 16;
+  using PrefetchList = InlineVec<Bytes, kMaxPrefetchDepth>;
+
   /// `capacity` and `block_size` must make at least one block fit.
   StorageCache(Bytes capacity, Bytes block_size);
 
@@ -48,15 +54,19 @@ class StorageCache {
   /// Removes a block if present.
   void invalidate(Bytes block_offset);
 
-  /// Up to `depth` block offsets following `block_offset` that are not yet
-  /// cached — the sequential prefetch candidates for a miss.
-  [[nodiscard]] std::vector<Bytes> prefetch_candidates(Bytes block_offset,
-                                                       int depth) const;
+  /// Appends to `out` up to `depth` block offsets following `block_offset`
+  /// that are not yet cached — the sequential prefetch candidates for a
+  /// miss.  `depth` beyond `kMaxPrefetchDepth` is clamped.
+  void prefetch_candidates(Bytes block_offset, int depth,
+                           PrefetchList& out) const;
 
   [[nodiscard]] Bytes block_size() const { return block_size_; }
-  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t size() const { return count_; }
   [[nodiscard]] std::size_t max_blocks() const { return max_blocks_; }
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
+
+  /// Resident block offsets, most recently used first (test/debug aid).
+  [[nodiscard]] std::vector<Bytes> keys_mru_first() const;
 
   /// Aligns an arbitrary offset down to its block.
   [[nodiscard]] Bytes align(Bytes offset) const {
@@ -64,10 +74,39 @@ class StorageCache {
   }
 
  private:
+  static constexpr std::int32_t kNil = -1;
+
+  /// One resident block: its offset plus intrusive LRU links (slot indices).
+  struct Slot {
+    Bytes key = 0;
+    std::int32_t prev = kNil;
+    std::int32_t next = kNil;
+  };
+
+  [[nodiscard]] std::size_t hash_index(Bytes key) const;
+  /// Table position holding `key`, or the position to insert it at.
+  [[nodiscard]] std::size_t probe(Bytes key) const;
+  void table_insert(Bytes key, std::int32_t slot);
+  void table_erase(Bytes key);
+  [[nodiscard]] std::int32_t find_slot(Bytes key) const;
+
+  void unlink(std::int32_t slot);
+  void link_front(std::int32_t slot);
+  void touch(std::int32_t slot);
+
   Bytes block_size_;
   std::size_t max_blocks_;
-  std::list<Bytes> lru_;  // front = most recent
-  std::unordered_map<Bytes, std::list<Bytes>::iterator> map_;
+  std::size_t count_ = 0;
+
+  std::vector<Slot> slots_;              // fixed at max_blocks_ entries
+  std::vector<std::int32_t> free_slots_; // recycled by invalidate/eviction
+  std::int32_t next_unused_ = 0;         // bump allocator over slots_
+  std::int32_t head_ = kNil;             // most recently used
+  std::int32_t tail_ = kNil;             // least recently used
+
+  std::vector<std::int32_t> table_;      // open addressing: slot index or kNil
+  std::size_t table_mask_ = 0;
+
   CacheStats stats_;
 };
 

@@ -20,23 +20,20 @@ StorageSystem::StorageSystem(Simulator& sim, StorageConfig cfg)
 }
 
 void StorageSystem::route(FileId f, Bytes offset, Bytes size, bool is_write,
-                          bool background, std::function<void()> done) {
-  struct Join {
-    int outstanding = 1;
-    std::function<void()> done;
-    void arrive() {
-      if (--outstanding == 0 && done) done();
-    }
-  };
-  auto join = std::make_shared<Join>();
-  join->done = std::move(done);
+                          bool background, EventFn done) {
+  const JoinId join = join_pool_.open(std::move(done));
 
-  const auto pieces = striping_.map(f, offset, size);
+  scratch_pieces_.clear();
+  striping_.for_each_piece(f, offset, size, [this](const StripePiece& piece) {
+    scratch_pieces_.push_back(piece);
+  });
   if (observer_ != nullptr) {
-    observer_->on_request_routed(f, offset, size, is_write, pieces);
+    observer_->on_request_routed(
+        f, offset, size, is_write,
+        std::span<const StripePiece>(scratch_pieces_));
   }
-  for (const StripePiece& piece : pieces) {
-    join->outstanding += 1;
+  for (const StripePiece& piece : scratch_pieces_) {
+    join_pool_.add(join);
     const SimTime wire =
         cfg_.network_latency +
         static_cast<SimTime>(static_cast<double>(piece.length) /
@@ -44,8 +41,11 @@ void StorageSystem::route(FileId f, Bytes offset, Bytes size, bool is_write,
                              static_cast<double>(kUsecPerSec));
     IoNode* node = nodes_[static_cast<std::size_t>(piece.io_node)].get();
     sim_.schedule_after(wire, [this, node, piece, is_write, background, join] {
+      // The response hop back to the client, then the join arrival.  All
+      // captures stay within EventFn's inline buffer.
       auto respond = [this, join] {
-        sim_.schedule_after(cfg_.network_latency, [join] { join->arrive(); });
+        sim_.schedule_after(cfg_.network_latency,
+                            [this, join] { join_pool_.arrive(join); });
       };
       if (is_write) {
         node->write(piece.node_offset, piece.length, respond);
@@ -54,16 +54,15 @@ void StorageSystem::route(FileId f, Bytes offset, Bytes size, bool is_write,
       }
     });
   }
-  join->arrive();
+  join_pool_.arrive(join);
 }
 
-void StorageSystem::read(FileId f, Bytes offset, Bytes size,
-                         std::function<void()> done, bool background) {
+void StorageSystem::read(FileId f, Bytes offset, Bytes size, EventFn done,
+                         bool background) {
   route(f, offset, size, /*is_write=*/false, background, std::move(done));
 }
 
-void StorageSystem::write(FileId f, Bytes offset, Bytes size,
-                          std::function<void()> done) {
+void StorageSystem::write(FileId f, Bytes offset, Bytes size, EventFn done) {
   route(f, offset, size, /*is_write=*/true, /*background=*/false,
         std::move(done));
 }

@@ -6,8 +6,8 @@
 // stand-in for PVFS + the I/O node hardware.
 #pragma once
 
-#include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,9 +39,11 @@ class StorageObserver {
   virtual ~StorageObserver() = default;
 
   /// A client request was split into `pieces` (in file order) and dispatched.
+  /// The span aliases the router's scratch buffer and is valid only for the
+  /// duration of the call.
   virtual void on_request_routed(FileId f, Bytes offset, Bytes size,
                                  bool is_write,
-                                 const std::vector<StripePiece>& pieces) {
+                                 std::span<const StripePiece> pieces) {
     (void)f, (void)offset, (void)size, (void)is_write, (void)pieces;
   }
 };
@@ -72,11 +74,11 @@ class StorageSystem {
   /// File-relative read; `done` fires when every stripe piece has been
   /// served and the response has crossed the network back.  Background
   /// reads (runtime prefetches) yield to demand traffic at the disks.
-  void read(FileId f, Bytes offset, Bytes size, std::function<void()> done,
+  void read(FileId f, Bytes offset, Bytes size, EventFn done,
             bool background = false);
 
   /// File-relative write-through.
-  void write(FileId f, Bytes offset, Bytes size, std::function<void()> done);
+  void write(FileId f, Bytes offset, Bytes size, EventFn done);
 
   /// I/O-node signature of an access — shared with the compiler.
   [[nodiscard]] Signature signature(FileId f, Bytes offset, Bytes size) const {
@@ -98,13 +100,15 @@ class StorageSystem {
 
  private:
   void route(FileId f, Bytes offset, Bytes size, bool is_write,
-             bool background, std::function<void()> done);
+             bool background, EventFn done);
 
   Simulator& sim_;
   StorageConfig cfg_;
   StripingMap striping_;
   StorageObserver* observer_ = nullptr;
   std::vector<std::unique_ptr<IoNode>> nodes_;
+  JoinPool join_pool_;
+  std::vector<StripePiece> scratch_pieces_;  // reused by route()
 };
 
 }  // namespace dasched

@@ -47,25 +47,9 @@ int StripingMap::node_of_stripe(FileId f, std::int64_t index) const {
 
 std::vector<StripePiece> StripingMap::map(FileId f, Bytes offset,
                                           Bytes size) const {
-  const FileInfo& fi = info(f);
-  assert(offset >= 0 && size > 0 && offset + size <= fi.size);
-
   std::vector<StripePiece> out;
-  Bytes pos = offset;
-  const Bytes end = offset + size;
-  while (pos < end) {
-    const std::int64_t stripe = pos / stripe_size_;
-    const Bytes in_stripe = pos % stripe_size_;
-    const Bytes piece = std::min(end - pos, stripe_size_ - in_stripe);
-    const int node = node_of_stripe(f, stripe);
-    // Stripe k of this file is the (k / num_nodes)-th of the file's stripes
-    // on its node (round-robin places exactly one stripe per node per round).
-    const Bytes local =
-        fi.node_base[static_cast<std::size_t>(node)] +
-        (stripe / num_nodes_) * stripe_size_ + in_stripe;
-    out.push_back(StripePiece{node, local, piece});
-    pos += piece;
-  }
+  for_each_piece(f, offset, size,
+                 [&out](const StripePiece& p) { out.push_back(p); });
   return out;
 }
 
@@ -73,9 +57,18 @@ Signature StripingMap::signature(FileId f, Bytes offset, Bytes size) const {
   Signature sig(num_nodes_);
   const std::int64_t first = offset / stripe_size_;
   const std::int64_t last = (offset + size - 1) / stripe_size_;
-  for (std::int64_t k = first; k <= last; ++k) {
-    sig.set(node_of_stripe(f, k));
-    if (sig.popcount() == num_nodes_) break;  // already all nodes
+  // Consecutive stripes land on consecutive nodes mod num_nodes, so the
+  // touched set is a cyclic run starting at the first stripe's node: walk
+  // min(stripes, num_nodes) nodes instead of every stripe (a span covering
+  // >= num_nodes stripes touches all nodes — the old early exit, closed
+  // form).
+  const std::int64_t stripes = last - first + 1;
+  const int run = stripes >= num_nodes_ ? num_nodes_ : static_cast<int>(stripes);
+  int node = node_of_stripe(f, first);
+  for (int k = 0; k < run; ++k) {
+    sig.set(node);
+    node += 1;
+    if (node == num_nodes_) node = 0;
   }
   return sig;
 }

@@ -5,9 +5,13 @@
 // per-file base node.  `StripingMap` is a pure mapping shared by the
 // compiler (to build access signatures) and the storage system (to route
 // requests); it also hands out deterministic node-local disk offsets through
-// a per-node bump allocator.
+// a per-node bump allocator.  The router walks accesses with the zero-
+// allocation `for_each_piece` visitor; the vector-returning `map` exists for
+// tests and audit tooling.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -43,8 +47,31 @@ class StripingMap {
   /// I/O node holding stripe `index` of file `f`.
   [[nodiscard]] int node_of_stripe(FileId f, std::int64_t index) const;
 
-  /// Splits a byte-range access into per-stripe pieces with node-local
-  /// offsets.  The range must lie inside the file.
+  /// Visits the per-stripe pieces of a byte-range access in file order,
+  /// without materializing them.  The range must lie inside the file.
+  template <typename Visitor>
+  void for_each_piece(FileId f, Bytes offset, Bytes size, Visitor&& visit) const {
+    const FileInfo& fi = info(f);
+    assert(offset >= 0 && size > 0 && offset + size <= fi.size);
+    Bytes pos = offset;
+    const Bytes end = offset + size;
+    while (pos < end) {
+      const std::int64_t stripe = pos / stripe_size_;
+      const Bytes in_stripe = pos % stripe_size_;
+      const Bytes piece = std::min(end - pos, stripe_size_ - in_stripe);
+      const int node = node_of_stripe(f, stripe);
+      // Stripe k of this file is the (k / num_nodes)-th of the file's
+      // stripes on its node (round-robin places exactly one stripe per node
+      // per round).
+      const Bytes local = fi.node_base[static_cast<std::size_t>(node)] +
+                          (stripe / num_nodes_) * stripe_size_ + in_stripe;
+      visit(StripePiece{node, local, piece});
+      pos += piece;
+    }
+  }
+
+  /// Materialized form of `for_each_piece` for tests and audit tooling; the
+  /// request router never calls it.
   [[nodiscard]] std::vector<StripePiece> map(FileId f, Bytes offset,
                                              Bytes size) const;
 

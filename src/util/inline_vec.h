@@ -1,0 +1,68 @@
+// Fixed-capacity inline vector for hot-path fan-out buffers.
+//
+// The storage data path splits every request into small bounded sets (disk
+// ops per chunk, prefetch candidates per miss); `InlineVec` holds those sets
+// on the stack so the per-request path never touches the heap.  Elements
+// must be trivially copyable and destructible — the container is a plain
+// array plus a length, nothing more.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace dasched {
+
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(N > 0, "InlineVec needs a non-zero capacity");
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "InlineVec is for plain hot-path value types");
+
+ public:
+  using value_type = T;
+
+  InlineVec() = default;
+
+  void push_back(const T& v) {
+    assert(size_ < N && "InlineVec overflow");
+    items_[size_++] = v;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    assert(size_ < N && "InlineVec overflow");
+    items_[size_] = T{std::forward<Args>(args)...};
+    return items_[size_++];
+  }
+
+  void clear() { size_ = 0; }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == N; }
+  [[nodiscard]] static constexpr std::size_t capacity() { return N; }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(i < size_);
+    return items_[i];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return items_[i];
+  }
+
+  [[nodiscard]] T* begin() { return items_; }
+  [[nodiscard]] T* end() { return items_ + size_; }
+  [[nodiscard]] const T* begin() const { return items_; }
+  [[nodiscard]] const T* end() const { return items_ + size_; }
+  [[nodiscard]] const T* data() const { return items_; }
+
+ private:
+  T items_[N];
+  std::size_t size_ = 0;
+};
+
+}  // namespace dasched

@@ -7,7 +7,7 @@
 namespace dasched {
 namespace {
 
-DiskRequest read_at(Bytes offset, Bytes size, std::function<void()> cb = {}) {
+DiskRequest read_at(Bytes offset, Bytes size, EventFn cb = {}) {
   return DiskRequest{offset, size, /*is_write=*/false, /*background=*/false,
                      std::move(cb)};
 }

@@ -1,0 +1,160 @@
+// Differential test of the flat slot-array LRU in `StorageCache` against a
+// straightforward reference model (std::list recency order + unordered_map
+// index — the representation the cache used before it went allocation-free).
+// Random operation streams over small key universes force heavy eviction,
+// re-insertion and invalidation churn; after every operation the two
+// implementations must agree on contents, recency order and statistics.
+
+#include "storage/storage_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dasched {
+namespace {
+
+/// The pre-flat-LRU reference: list front = most recently used.
+class ReferenceLru {
+ public:
+  ReferenceLru(Bytes capacity, Bytes block_size)
+      : block_size_(block_size),
+        max_blocks_(static_cast<std::size_t>(capacity / block_size)) {}
+
+  bool lookup(Bytes key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      stats_.misses += 1;
+      return false;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    stats_.hits += 1;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(Bytes key) const { return index_.count(key) > 0; }
+
+  void insert(Bytes key) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (order_.size() >= max_blocks_) {
+      index_.erase(order_.back());
+      order_.pop_back();
+      stats_.evictions += 1;
+    }
+    order_.push_front(key);
+    index_[key] = order_.begin();
+    stats_.insertions += 1;
+  }
+
+  void invalidate(Bytes key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return;
+    order_.erase(it->second);
+    index_.erase(it);
+    stats_.invalidations += 1;
+  }
+
+  [[nodiscard]] std::vector<Bytes> keys_mru_first() const {
+    return {order_.begin(), order_.end()};
+  }
+
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] Bytes block_size() const { return block_size_; }
+
+ private:
+  Bytes block_size_;
+  std::size_t max_blocks_;
+  std::list<Bytes> order_;
+  std::unordered_map<Bytes, std::list<Bytes>::iterator> index_;
+  CacheStats stats_;
+};
+
+void expect_equivalent(const StorageCache& flat, const ReferenceLru& ref,
+                       int step) {
+  ASSERT_EQ(flat.size(), ref.size()) << "step " << step;
+  ASSERT_EQ(flat.keys_mru_first(), ref.keys_mru_first()) << "step " << step;
+  const CacheStats& a = flat.stats();
+  const CacheStats& b = ref.stats();
+  ASSERT_EQ(a.hits, b.hits) << "step " << step;
+  ASSERT_EQ(a.misses, b.misses) << "step " << step;
+  ASSERT_EQ(a.insertions, b.insertions) << "step " << step;
+  ASSERT_EQ(a.evictions, b.evictions) << "step " << step;
+  ASSERT_EQ(a.invalidations, b.invalidations) << "step " << step;
+}
+
+TEST(LruDifferential, RandomChurnMatchesReferenceModel) {
+  Rng rng(0xd1ff);
+  for (int run = 0; run < 40; ++run) {
+    const Bytes bs = kib(64);
+    const std::size_t cap_blocks = static_cast<std::size_t>(rng.next_int(1, 24));
+    const std::int64_t universe = rng.next_int(2, 4) * static_cast<std::int64_t>(cap_blocks);
+    StorageCache flat(bs * static_cast<Bytes>(cap_blocks), bs);
+    ReferenceLru ref(bs * static_cast<Bytes>(cap_blocks), bs);
+
+    for (int step = 0; step < 2'000; ++step) {
+      const Bytes key = rng.next_int(0, universe - 1) * bs;
+      switch (rng.next_int(0, 9)) {
+        case 0:
+        case 1:
+        case 2: {  // demand lookup
+          ASSERT_EQ(flat.lookup(key), ref.lookup(key)) << "step " << step;
+          break;
+        }
+        case 3: {  // invalidation
+          flat.invalidate(key);
+          ref.invalidate(key);
+          break;
+        }
+        case 4: {  // contains must not disturb recency or stats
+          ASSERT_EQ(flat.contains(key), ref.contains(key)) << "step " << step;
+          break;
+        }
+        case 5: {  // prefetch candidates agree with reference membership
+          StorageCache::PrefetchList cands;
+          flat.prefetch_candidates(key, 3, cands);
+          std::vector<Bytes> expect;
+          for (int k = 1; k <= 3; ++k) {
+            const Bytes next = key + k * bs;
+            if (!ref.contains(next)) expect.push_back(next);
+          }
+          ASSERT_EQ(std::vector<Bytes>(cands.begin(), cands.end()), expect)
+              << "step " << step;
+          break;
+        }
+        default: {  // insertion (fill / refresh / evict)
+          flat.insert(key);
+          ref.insert(key);
+          break;
+        }
+      }
+      expect_equivalent(flat, ref, step);
+    }
+  }
+}
+
+TEST(LruDifferential, SingleBlockCapacityDegeneratesToLastKey) {
+  const Bytes bs = kib(64);
+  StorageCache flat(bs, bs);
+  ReferenceLru ref(bs, bs);
+  for (int i = 0; i < 50; ++i) {
+    const Bytes key = static_cast<Bytes>(i % 3) * bs;
+    flat.insert(key);
+    ref.insert(key);
+    flat.lookup(static_cast<Bytes>((i + 1) % 3) * bs);
+    ref.lookup(static_cast<Bytes>((i + 1) % 3) * bs);
+    expect_equivalent(flat, ref, i);
+  }
+  EXPECT_EQ(flat.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dasched

@@ -46,7 +46,8 @@ TEST(StorageCache, InvalidateRemovesBlock) {
 TEST(StorageCache, PrefetchCandidatesSkipCachedBlocks) {
   StorageCache c(mib(1), kib(64));
   c.insert(kib(64));
-  const auto cands = c.prefetch_candidates(0, 3);
+  StorageCache::PrefetchList cands;
+  c.prefetch_candidates(0, 3, cands);
   ASSERT_EQ(cands.size(), 2u);
   EXPECT_EQ(cands[0], kib(128));
   EXPECT_EQ(cands[1], kib(192));

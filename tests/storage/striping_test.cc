@@ -4,6 +4,8 @@
 
 #include <numeric>
 
+#include "util/rng.h"
+
 namespace dasched {
 namespace {
 
@@ -81,6 +83,36 @@ TEST(StripingMap, SignatureMatchesMapPieces) {
   const Signature sig = m.signature(f, off, size);
   for (const auto& piece : m.map(f, off, size)) {
     EXPECT_TRUE(sig.test(piece.io_node));
+  }
+}
+
+// The closed-form signature (a cyclic run of min(stripes, nodes) bits) must
+// agree with the definition: the union of node_of_stripe over every stripe
+// the byte range touches.
+TEST(StripingMap, SignatureMatchesBruteForceOnRandomRanges) {
+  Rng rng(0x516a7);
+  for (int trial = 0; trial < 2'000; ++trial) {
+    const int nodes = static_cast<int>(rng.next_int(1, 33));
+    const Bytes stripe = kib(1) << rng.next_int(0, 6);  // 1K..64K
+    StripingMap m(nodes, stripe);
+    // A couple of files so base_node varies.
+    const int nfiles = static_cast<int>(rng.next_int(1, 3));
+    FileId f = 0;
+    Bytes fsize = 0;
+    for (int i = 0; i < nfiles; ++i) {
+      fsize = stripe * rng.next_int(1, 3 * nodes) + rng.next_int(0, 1) * (stripe / 2);
+      f = m.create_file(std::to_string(i), fsize);
+    }
+    const Bytes off = rng.next_int(0, fsize - 1);
+    const Bytes size = rng.next_int(1, fsize - off);
+
+    Signature brute(nodes);
+    for (std::int64_t s = off / stripe; s <= (off + size - 1) / stripe; ++s) {
+      brute.set(m.node_of_stripe(f, s));
+    }
+    ASSERT_EQ(m.signature(f, off, size), brute)
+        << "nodes=" << nodes << " stripe=" << stripe << " off=" << off
+        << " size=" << size;
   }
 }
 
