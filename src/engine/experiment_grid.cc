@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/rng.h"
+
 namespace dasched {
 
 SweepAxis sweep_axis_by_name(const std::string& name,
@@ -49,11 +51,7 @@ std::size_t ExperimentGrid::size() const {
 
 std::uint64_t ExperimentGrid::derive_seed(std::uint64_t base,
                                           std::size_t index) {
-  // splitmix64: the base seed selects a stream, the cell index a position.
-  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (index + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  return dasched::derive_seed(base, index);
 }
 
 std::vector<GridCell> ExperimentGrid::cells() const {

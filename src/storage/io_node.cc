@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "util/rng.h"
+
 namespace dasched {
 
 IoNode::IoNode(Simulator& sim, IoNodeConfig cfg, int node_id, std::uint64_t seed)
@@ -14,7 +16,7 @@ IoNode::IoNode(Simulator& sim, IoNodeConfig cfg, int node_id, std::uint64_t seed
       raid_(cfg.raid, cfg.num_disks, cfg.chunk_size) {
   for (int i = 0; i < cfg.num_disks; ++i) {
     disks_.push_back(std::make_unique<Disk>(
-        sim_, cfg_.disk, seed * 1'000 + static_cast<std::uint64_t>(i) + 1));
+        sim_, cfg_.disk, derive_seed(seed, static_cast<std::uint64_t>(i))));
     policies_.push_back(make_policy(cfg_.policy, cfg_.policy_cfg));
     disks_.back()->set_policy(policies_.back().get());
   }

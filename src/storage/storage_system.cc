@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/rng.h"
+
 namespace dasched {
 
 StorageSystem::StorageSystem(Simulator& sim, StorageConfig cfg)
@@ -15,7 +17,7 @@ StorageSystem::StorageSystem(Simulator& sim, StorageConfig cfg)
   for (int i = 0; i < cfg_.num_io_nodes; ++i) {
     nodes_.push_back(std::make_unique<IoNode>(
         sim_, cfg_.node, i,
-        cfg_.seed * 10'000 + static_cast<std::uint64_t>(i) + 1));
+        derive_seed(cfg_.seed, static_cast<std::uint64_t>(i))));
   }
 }
 

@@ -10,6 +10,18 @@
 
 namespace dasched {
 
+/// Derives an independent stream seed from (base, index) via splitmix64: the
+/// base selects a stream family, the index a position within it. Used for
+/// per-cell grid seeds and per-component (I/O node, disk) seeds so sibling
+/// components never share correlated low bits the way `base * K + i` did.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t base,
+                                                  std::uint64_t index) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
