@@ -303,6 +303,76 @@ BENCHMARK(BM_StoragePathGridCell)
     ->Unit(benchmark::kMillisecond)
     ->ArgNames({"madbench2", "scheme"});
 
+// --------------------------------------------------------------------------
+// Scheduling-compiler fast path (AccessScheduler::schedule + slack analysis).
+// These benches pin the cost of the scheme-on compile pipeline; recorded A/B
+// numbers live in BENCH_scheduler.json.
+// --------------------------------------------------------------------------
+
+/// Pure scheduling pass over a realistic mixed-length workload with the
+/// Table II defaults (δ = 20, θ = 4, max_candidates = 128).  items/sec =
+/// accesses/sec through AccessScheduler::schedule.
+void BM_SchedulerSchedule(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  const Slot slots = 4'096;
+  auto accesses = random_accesses(count, 8, slots, 42);
+  Rng rng(17);
+  for (auto& rec : accesses) {  // mixed lengths, as the extended algorithm sees
+    const int len = 1 + static_cast<int>(rng.next_below(4));
+    rec.length = std::min<int>(len, static_cast<int>(rec.end - rec.begin + 1));
+  }
+  for (auto _ : state) {
+    AccessScheduler sched(8, slots, ScheduleOptions{});
+    benchmark::DoNotOptimize(sched.schedule(accesses));
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_SchedulerSchedule)->Arg(1'000)->Arg(10'000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Slack analysis (LastWriteMap interval store + signature assignment) on a
+/// real application trace.  items/sec = read accesses analyzed per second.
+void BM_SchedulerSlackAnalysis(benchmark::State& state) {
+  StripingMap striping(8, kib(64));
+  WorkloadScale scale;
+  scale.num_processes = 32;
+  scale.factor = 0.25;
+  CompiledProgram trace = app_by_name("sar").build(striping, scale);
+  SlackOptions opts;
+  opts.max_slack = 600;
+  std::int64_t reads = 0;
+  for (auto _ : state) {
+    analyze_slacks(trace, striping, opts);
+    benchmark::DoNotOptimize(trace.reads.data());
+    reads += static_cast<std::int64_t>(trace.reads.size());
+  }
+  state.SetItemsProcessed(reads);
+}
+BENCHMARK(BM_SchedulerSlackAnalysis)->Unit(benchmark::kMillisecond);
+
+/// End-to-end scheme-on grid cell (the BM_StoragePathGridCell shape with the
+/// scheme forced on): workload build + compile + schedule + simulate.  This
+/// is the cell the scheduling-compiler fast path must lift ≥1.5x.
+void BM_SchedulerGridCellSchemeOn(benchmark::State& state) {
+  ExperimentConfig cfg;
+  cfg.app = state.range(0) == 0 ? "sar" : "madbench2";
+  cfg.scale.num_processes = 8;
+  cfg.scale.factor = 0.2;
+  cfg.policy = PolicyKind::kHistory;
+  cfg.use_scheme = true;
+  std::int64_t cells = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_experiment(cfg));
+    cells += 1;
+  }
+  state.SetItemsProcessed(cells);
+}
+BENCHMARK(BM_SchedulerGridCellSchemeOn)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"app"});  // 0 = sar, 1 = madbench2
+
 void BM_ReuseFactor(benchmark::State& state) {
   AccessScheduler sched(8, 1'000, ScheduleOptions{.delta = 20});
   auto accesses = random_accesses(200, 8, 1'000, 3);

@@ -105,12 +105,12 @@ void ScheduleConsistencyCheck::check_theta(
   std::map<std::pair<Slot, int>, std::int64_t> counts;
   std::int64_t worst_per_access = 0;
   for (const ScheduledAccess& s : scheduled) {
-    const auto nodes = s.rec.sig.nodes();
-    worst_per_access =
-        std::max(worst_per_access, static_cast<std::int64_t>(s.rec.length) *
-                                       static_cast<std::int64_t>(nodes.size()));
+    worst_per_access = std::max(
+        worst_per_access, static_cast<std::int64_t>(s.rec.length) *
+                              static_cast<std::int64_t>(s.rec.sig.popcount()));
     for (int k = 0; k < s.rec.length; ++k) {
-      for (int node : nodes) counts[{s.slot + k, node}] += 1;
+      s.rec.sig.for_each_node(
+          [&counts, &s, k](int node) { counts[{s.slot + k, node}] += 1; });
     }
   }
   const std::int64_t excused = stats.theta_fallbacks + stats.forced;

@@ -5,47 +5,69 @@
 
 namespace dasched {
 
+namespace {
+
+/// First interval whose begin is >= `b` (the flat analogue of
+/// map::lower_bound on the start-offset key).
+template <typename Vec>
+[[nodiscard]] auto interval_lower_bound(Vec& intervals, Bytes b) {
+  return std::lower_bound(
+      intervals.begin(), intervals.end(), b,
+      [](const auto& iv, Bytes key) { return iv.begin < key; });
+}
+
+}  // namespace
+
 void LastWriteMap::record_write(FileId file, Bytes offset, Bytes size,
                                 Slot slot, int process) {
-  assert(size > 0);
-  auto& intervals = files_[file];
+  assert(size > 0 && file >= 0);
+  if (static_cast<std::size_t>(file) >= files_.size()) {
+    files_.resize(static_cast<std::size_t>(file) + 1);
+  }
+  auto& intervals = files_[static_cast<std::size_t>(file)];
   const Bytes begin = offset;
   const Bytes end = offset + size;
 
   // Trim or split every interval overlapping [begin, end).
-  auto it = intervals.lower_bound(begin);
+  auto it = interval_lower_bound(intervals, begin);
+  Interval right{};  // surviving right part of a straddling interval
+  bool have_right = false;
   if (it != intervals.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second.end > begin) {
+    Interval& prev = *std::prev(it);
+    if (prev.end > begin) {
       // prev straddles `begin`: keep its left part, and if it extends past
-      // `end`, re-insert its right part.
-      const Interval old = prev->second;
-      prev->second.end = begin;
-      if (old.end > end) {
-        intervals[end] = Interval{old.end, old.slot, old.process};
+      // `end`, keep its right part too (intervals are disjoint, so nothing
+      // else can overlap [begin, end) in that case).
+      if (prev.end > end) {
+        right = Interval{end, prev.end, prev.slot, prev.process};
+        have_right = true;
       }
+      prev.end = begin;
     }
   }
-  it = intervals.lower_bound(begin);
-  while (it != intervals.end() && it->first < end) {
-    if (it->second.end > end) {
-      // Straddles `end`: keep the right part.
-      Interval right = it->second;
-      intervals.erase(it);
-      intervals[end] = right;
+  auto last = it;
+  while (last != intervals.end() && last->begin < end) {
+    if (last->end > end) {
+      // Straddles `end`: keep the right part in place.
+      last->begin = end;
       break;
     }
-    it = intervals.erase(it);
+    ++last;
   }
-  intervals[begin] = Interval{end, slot, process};
+  // Replace the swallowed run [it, last) with the new interval (and the
+  // split-off right part, which sorts directly after it).
+  it = intervals.erase(it, last);
+  it = intervals.insert(it, Interval{begin, end, slot, process});
+  if (have_right) intervals.insert(std::next(it), right);
 }
 
 std::optional<LastWriteMap::Writer> LastWriteMap::last_write(FileId file,
                                                              Bytes offset,
                                                              Bytes size) const {
-  const auto fit = files_.find(file);
-  if (fit == files_.end()) return std::nullopt;
-  const auto& intervals = fit->second;
+  if (file < 0 || static_cast<std::size_t>(file) >= files_.size()) {
+    return std::nullopt;
+  }
+  const auto& intervals = files_[static_cast<std::size_t>(file)];
   const Bytes begin = offset;
   const Bytes end = offset + size;
 
@@ -55,12 +77,12 @@ std::optional<LastWriteMap::Writer> LastWriteMap::last_write(FileId file,
       best = Writer{iv.slot, iv.process};
     }
   };
-  auto it = intervals.lower_bound(begin);
+  auto it = interval_lower_bound(intervals, begin);
   if (it != intervals.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second.end > begin) consider(prev->second);
+    const Interval& prev = *std::prev(it);
+    if (prev.end > begin) consider(prev);
   }
-  for (; it != intervals.end() && it->first < end; ++it) consider(it->second);
+  for (; it != intervals.end() && it->begin < end; ++it) consider(*it);
   return best;
 }
 

@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -34,6 +33,12 @@ struct SlackOptions {
 
 /// Tracks, per file, which byte ranges were last written at which slot.
 /// This is the data-flow core of the slack analysis.
+///
+/// Storage: one flat sorted vector of disjoint intervals per file (files are
+/// dense small ids), replacing the former map-of-maps.  The slot sweep of
+/// `analyze_slacks` queries and records in nondecreasing slot order over a
+/// handful of files, so binary search + vector splice beats the node-based
+/// map on both locality and allocation count.
 class LastWriteMap {
  public:
   struct Writer {
@@ -51,12 +56,13 @@ class LastWriteMap {
 
  private:
   struct Interval {
+    Bytes begin = 0;
     Bytes end = 0;  // exclusive
     Slot slot = 0;
     int process = 0;
   };
-  // Per file: disjoint intervals keyed by start offset.
-  std::map<FileId, std::map<Bytes, Interval>> files_;
+  // Per file (vector index = FileId): disjoint intervals sorted by begin.
+  std::vector<std::vector<Interval>> files_;
 };
 
 /// Populates `program.reads` / `program.read_sites` with one AccessRecord

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <numeric>
+#include <utility>
 
 namespace dasched {
 
@@ -12,13 +14,32 @@ AccessScheduler::AccessScheduler(int num_io_nodes, Slot num_slots,
       num_slots_(num_slots),
       opts_(opts),
       rng_(opts.seed),
-      group_(static_cast<std::size_t>(num_slots), Signature(num_io_nodes)) {
+      group_(static_cast<std::size_t>(num_slots), Signature(num_io_nodes)),
+      sigma_(static_cast<std::size_t>(opts.delta) + 1),
+      inv_d_(static_cast<std::size_t>(num_slots), 0.0),
+      run_end_(static_cast<std::size_t>(num_slots), 0) {
   assert(num_io_nodes > 0 && num_slots > 0);
   if (opts_.theta > 0) {
     node_counts_.assign(
         static_cast<std::size_t>(num_slots) * static_cast<std::size_t>(num_nodes_),
         0);
+    saturated_.assign(static_cast<std::size_t>(num_slots),
+                      Signature(num_io_nodes));
   }
+  // σ table: the exact `weight()` values, computed once instead of one
+  // division per window term.
+  for (int j = 0; j <= opts_.delta; ++j) {
+    sigma_[static_cast<std::size_t>(j)] = weight(j, opts_.delta);
+  }
+}
+
+void AccessScheduler::reset() {
+  for (Signature& g : group_) g.clear();
+  std::fill(node_counts_.begin(), node_counts_.end(), 0);
+  for (Signature& s : saturated_) s.clear();
+  for (auto& rows : occupied_) std::fill(rows.begin(), rows.end(), 0);
+  stats_ = ScheduleStats{};
+  rng_.reseed(opts_.seed);
 }
 
 double AccessScheduler::weight(int outside_distance, int delta) {
@@ -60,6 +81,40 @@ double AccessScheduler::reuse_factor_with_weights(
   return total;
 }
 
+void AccessScheduler::fill_distance_cache(const AccessRecord& rec,
+                                          Slot span_lo, Slot span_hi) {
+  assert(span_lo >= 0 && span_hi < num_slots_ && span_lo <= span_hi);
+  for (Slot s = span_lo; s <= span_hi; ++s) {
+    inv_d_[static_cast<std::size_t>(s)] = reciprocal_distance(rec, s);
+  }
+  run_end_[static_cast<std::size_t>(span_hi)] = span_hi;
+  for (Slot s = span_hi - 1; s >= span_lo; --s) {
+    run_end_[static_cast<std::size_t>(s)] =
+        inv_d_[static_cast<std::size_t>(s)] ==
+                inv_d_[static_cast<std::size_t>(s + 1)]
+            ? run_end_[static_cast<std::size_t>(s + 1)]
+            : s;
+  }
+}
+
+double AccessScheduler::cached_reuse_factor(const AccessRecord& rec,
+                                            Slot slot) const {
+  // Same term order and arithmetic as `reuse_factor`, with the distance
+  // already cached per slot and σ read from the table — the sum is
+  // bit-identical, only cheaper.
+  double total = 0.0;
+  const int l = rec.length;
+  const Slot k_lo = std::max<Slot>(-opts_.delta, -slot);
+  const Slot k_hi = std::min<Slot>(l - 1 + opts_.delta, num_slots_ - 1 - slot);
+  for (Slot k = k_lo; k <= k_hi; ++k) {
+    const int j = k < 0 ? static_cast<int>(-k)
+                        : (k > l - 1 ? static_cast<int>(k) - (l - 1) : 0);
+    total += sigma_[static_cast<std::size_t>(j)] *
+             inv_d_[static_cast<std::size_t>(slot + k)];
+  }
+  return total;
+}
+
 void AccessScheduler::ensure_process(int process) {
   if (static_cast<std::size_t>(process) >= occupied_.size()) {
     occupied_.resize(static_cast<std::size_t>(process) + 1);
@@ -81,17 +136,14 @@ bool AccessScheduler::available(int process, Slot slot, int length) const {
 
 bool AccessScheduler::theta_ok(const AccessRecord& rec, Slot slot) const {
   if (opts_.theta <= 0) return true;
-  const auto nodes = rec.sig.nodes();
+  // A node violates the cap iff its count has already reached θ, i.e. iff
+  // its bit is set in the slot's saturated mask: one signature-AND per
+  // occupied slot replaces the per-node counter rescan.
   for (int k = 0; k < rec.length; ++k) {
     const Slot s = slot + k;
     if (s < 0 || s >= num_slots_) continue;
-    const std::size_t base =
-        static_cast<std::size_t>(s) * static_cast<std::size_t>(num_nodes_);
-    for (int node : nodes) {
-      if (node_counts_[base + static_cast<std::size_t>(node)] + 1 >
-          opts_.theta) {
-        return false;
-      }
+    if (intersects(rec.sig, saturated_[static_cast<std::size_t>(s)])) {
+      return false;
     }
   }
   return true;
@@ -99,7 +151,6 @@ bool AccessScheduler::theta_ok(const AccessRecord& rec, Slot slot) const {
 
 double AccessScheduler::average_excess(const AccessRecord& rec, Slot slot) const {
   if (opts_.theta <= 0) return 0.0;
-  const auto nodes = rec.sig.nodes();
   std::int64_t excess = 0;
   std::int64_t oversubscribed = 0;
   for (int k = 0; k < rec.length; ++k) {
@@ -107,13 +158,13 @@ double AccessScheduler::average_excess(const AccessRecord& rec, Slot slot) const
     if (s < 0 || s >= num_slots_) continue;
     const std::size_t base =
         static_cast<std::size_t>(s) * static_cast<std::size_t>(num_nodes_);
-    for (int node : nodes) {
+    rec.sig.for_each_node([&](int node) {
       const int m = node_counts_[base + static_cast<std::size_t>(node)] + 1;
       if (m > opts_.theta) {
         excess += m - opts_.theta;
         oversubscribed += 1;
       }
-    }
+    });
   }
   if (oversubscribed == 0) return 0.0;
   return static_cast<double>(excess) / static_cast<double>(oversubscribed);
@@ -123,16 +174,17 @@ void AccessScheduler::place(const AccessRecord& rec, Slot slot) {
   assert(slot >= 0 && slot + rec.length <= num_slots_);
   ensure_process(rec.process);
   auto& rows = occupied_[static_cast<std::size_t>(rec.process)];
-  const auto nodes = rec.sig.nodes();
   for (int k = 0; k < rec.length; ++k) {
     const auto s = static_cast<std::size_t>(slot + k);
     group_[s] |= rec.sig;
     rows[s] = 1;
     if (opts_.theta > 0) {
       const std::size_t base = s * static_cast<std::size_t>(num_nodes_);
-      for (int node : nodes) {
-        node_counts_[base + static_cast<std::size_t>(node)] += 1;
-      }
+      rec.sig.for_each_node([&](int node) {
+        std::uint16_t& count = node_counts_[base + static_cast<std::size_t>(node)];
+        count += 1;
+        if (count >= opts_.theta) saturated_[s].set(node);
+      });
     }
   }
 }
@@ -143,49 +195,86 @@ const Signature& AccessScheduler::group_signature(Slot slot) const {
 
 std::vector<ScheduledAccess> AccessScheduler::schedule(
     std::vector<AccessRecord> accesses) {
+  std::vector<ScheduledAccess> out;
+  schedule_into(accesses, out);
+  return out;
+}
+
+void AccessScheduler::schedule_into(std::span<const AccessRecord> accesses,
+                                    std::vector<ScheduledAccess>& out) {
   // Most-constrained-first: nondecreasing slack length, access id as the
   // deterministic tie-break.
-  std::vector<std::size_t> order(accesses.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&accesses](std::size_t a, std::size_t b) {
-    const Slot la = accesses[a].slack_length();
-    const Slot lb = accesses[b].slack_length();
-    if (la != lb) return la < lb;
-    return accesses[a].id < accesses[b].id;
-  });
+  order_.resize(accesses.size());
+  std::iota(order_.begin(), order_.end(), 0u);
+  std::sort(order_.begin(), order_.end(),
+            [&accesses](std::uint32_t a, std::uint32_t b) {
+              const Slot la = accesses[a].slack_length();
+              const Slot lb = accesses[b].slack_length();
+              if (la != lb) return la < lb;
+              return accesses[a].id < accesses[b].id;
+            });
 
-  std::vector<ScheduledAccess> out;
+  out.clear();
   out.reserve(accesses.size());
   double total_advance = 0.0;
 
-  struct Candidate {
-    Slot slot;
-    double reuse;
-  };
-  std::vector<Candidate> candidates;
-
-  for (std::size_t idx : order) {
+  for (std::uint32_t idx : order_) {
     const AccessRecord& rec = accesses[idx];
     assert(rec.begin <= rec.end && rec.length >= 1);
 
-    candidates.clear();
+    candidates_.clear();
     const Slot lo = rec.begin;
     const Slot hi = rec.latest_start();
     Slot stride = 1;
     if (opts_.max_candidates > 0 && hi - lo + 1 > opts_.max_candidates) {
       stride = (hi - lo + opts_.max_candidates) / opts_.max_candidates;
     }
+
+    // Hoisted distance cache: `group_` only changes in place(), so 1/d(s)
+    // over every slot any candidate's window can reach is computed once per
+    // access instead of once per (candidate, window slot) pair.
+    const Slot span_lo = std::max<Slot>(0, lo - opts_.delta);
+    const Slot span_hi =
+        std::min<Slot>(num_slots_ - 1, hi + rec.length - 1 + opts_.delta);
+    if (span_lo <= span_hi && lo <= hi) {
+      fill_distance_cache(rec, span_lo, span_hi);
+    }
+
+    // Constant-run memo: when a candidate's whole σ window is interior and
+    // falls inside one constant run of 1/d, its sum is the exact same
+    // float-operation sequence as the previous such candidate's — reuse the
+    // result in O(1).  (A general prefix-sum slide would reassociate the
+    // sum and break bit-identical tie behavior; see DESIGN.md §11.)
+    bool have_const = false;
+    double const_val = 0.0;
+    double const_reuse = 0.0;
+    const auto evaluate = [&](Slot s) {
+      const Slot wlo = s - opts_.delta;
+      const Slot whi = s + rec.length - 1 + opts_.delta;
+      if (wlo >= 0 && whi < num_slots_ &&
+          run_end_[static_cast<std::size_t>(wlo)] >= whi) {
+        const double c = inv_d_[static_cast<std::size_t>(wlo)];
+        if (!have_const || c != const_val) {
+          const_val = c;
+          const_reuse = cached_reuse_factor(rec, s);
+          have_const = true;
+        }
+        return const_reuse;
+      }
+      return cached_reuse_factor(rec, s);
+    };
+
     for (Slot s = lo; s <= hi; s += stride) {
       if (!available(rec.process, s, rec.length)) continue;
-      candidates.push_back({s, reuse_factor(rec, s)});
+      candidates_.push_back({s, evaluate(s)});
     }
     if (stride > 1 && (hi - lo) % stride != 0 &&
         available(rec.process, hi, rec.length)) {
-      candidates.push_back({hi, reuse_factor(rec, hi)});
+      candidates_.push_back({hi, evaluate(hi)});
     }
 
     ScheduledAccess result{rec, rec.original, false};
-    if (candidates.empty()) {
+    if (candidates_.empty()) {
       // The whole slack is occupied by this process's other accesses; pin to
       // the original point (the read must still happen there).
       result.forced = true;
@@ -203,29 +292,33 @@ std::vector<ScheduledAccess> AccessScheduler::schedule(
       // randomized tie-break is enabled.
       std::size_t best = 0;
       int ties = 1;
-      for (std::size_t i = 1; i < candidates.size(); ++i) {
-        if (candidates[i].reuse > candidates[best].reuse) {
+      for (std::size_t i = 1; i < candidates_.size(); ++i) {
+        if (candidates_[i].reuse > candidates_[best].reuse) {
           best = i;
           ties = 1;
         } else if (opts_.random_tie_break &&
-                   candidates[i].reuse == candidates[best].reuse) {
+                   candidates_[i].reuse == candidates_[best].reuse) {
           // Reservoir-style uniform choice among ties.
           ties += 1;
           if (rng_.next_below(static_cast<std::uint64_t>(ties)) == 0) best = i;
         }
       }
-      result.slot = candidates[best].slot;
+      result.slot = candidates_[best].slot;
       place(rec, result.slot);
     } else {
       // θ-constrained selection (Sec. IV-B3): visit candidates in
       // non-increasing reuse order, take the first that satisfies θ at every
-      // occupied slot; otherwise minimize the average excess E_t.
-      std::stable_sort(candidates.begin(), candidates.end(),
-                       [](const Candidate& a, const Candidate& b) {
-                         return a.reuse > b.reuse;
-                       });
+      // occupied slot; otherwise minimize the average excess E_t.  Slots are
+      // generated in strictly increasing order, so sorting by (reuse desc,
+      // slot asc) reproduces the stable sort of the reference without its
+      // temp-buffer allocation.
+      std::sort(candidates_.begin(), candidates_.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  if (a.reuse != b.reuse) return a.reuse > b.reuse;
+                  return a.slot < b.slot;
+                });
       bool placed = false;
-      for (const Candidate& c : candidates) {
+      for (const Candidate& c : candidates_) {
         if (theta_ok(rec, c.slot)) {
           result.slot = c.slot;
           placed = true;
@@ -234,8 +327,8 @@ std::vector<ScheduledAccess> AccessScheduler::schedule(
       }
       if (!placed) {
         double best_excess = std::numeric_limits<double>::infinity();
-        Slot best_slot = candidates.front().slot;
-        for (const Candidate& c : candidates) {
+        Slot best_slot = candidates_.front().slot;
+        for (const Candidate& c : candidates_) {
           const double e = average_excess(rec, c.slot);
           if (e < best_excess) {
             best_excess = e;
@@ -260,7 +353,6 @@ std::vector<ScheduledAccess> AccessScheduler::schedule(
             [](const ScheduledAccess& a, const ScheduledAccess& b) {
               return a.rec.id < b.rec.id;
             });
-  return out;
 }
 
 }  // namespace dasched

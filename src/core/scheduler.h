@@ -21,6 +21,17 @@
 //      the average excess E_t is selected.
 //   5. OR the access's signature into the group active signature of every
 //      slot it occupies.
+//
+// Fast path (DESIGN.md §11): `group_[s]` only changes in `place()`, so per
+// access the reciprocal distances 1/d(s) are computed once into a scratch
+// array over the reachable span, a precomputed σ table replaces the
+// per-term `weight()` division, and candidates whose whole σ window falls
+// inside one constant run of 1/d reuse the previous result in O(1).  Every
+// per-candidate sum keeps the exact operation order of the straightforward
+// loop, so schedules are bit-identical to the reference implementation
+// (tests/core/scheduler_differential_test.cc).  After a warm-up run,
+// `reset()` + `schedule_into()` perform zero heap allocations
+// (tests/core/scheduler_alloc_test.cc).
 #pragma once
 
 #include <cstdint>
@@ -70,6 +81,16 @@ class AccessScheduler {
   /// Schedules all accesses; the result vector is ordered by access id.
   std::vector<ScheduledAccess> schedule(std::vector<AccessRecord> accesses);
 
+  /// Same, into a caller-provided result vector (cleared first).  With a
+  /// warmed `out` capacity this performs zero heap allocations.
+  void schedule_into(std::span<const AccessRecord> accesses,
+                     std::vector<ScheduledAccess>& out);
+
+  /// Clears the timeline (group signatures, θ counts, process occupancy,
+  /// stats) and re-seeds the tie-break RNG, keeping every buffer's capacity
+  /// — the allocation-free way to reuse one scheduler across runs.
+  void reset();
+
   // --- Introspection (also used by unit tests and incremental callers) -----
 
   /// Reuse factor of starting `rec` at `slot`, given the current timeline.
@@ -89,7 +110,8 @@ class AccessScheduler {
   [[nodiscard]] bool available(int process, Slot slot, int length) const;
 
   /// True when placing `rec` at `slot` keeps every I/O node at or below θ
-  /// in every occupied slot.  Always true when θ == 0.
+  /// in every occupied slot.  Always true when θ == 0.  O(l) signature-AND
+  /// probes against the per-slot saturated-node masks — no per-node scan.
   [[nodiscard]] bool theta_ok(const AccessRecord& rec, Slot slot) const;
 
   /// Average number of accesses beyond θ per over-subscribed node across the
@@ -112,6 +134,16 @@ class AccessScheduler {
   [[nodiscard]] double reciprocal_distance(const AccessRecord& rec, Slot s) const;
   void ensure_process(int process);
 
+  /// Fills `inv_d_` with 1/d(rec.sig, group_[s]) over [span_lo, span_hi]
+  /// and rebuilds `run_end_` (furthest index of the constant run starting
+  /// at each slot) over the same span.
+  void fill_distance_cache(const AccessRecord& rec, Slot span_lo, Slot span_hi);
+
+  /// Reuse factor of `rec` at `slot` from the cached reciprocal distances.
+  /// Same term order as `reuse_factor`, so the result is bit-identical.
+  [[nodiscard]] double cached_reuse_factor(const AccessRecord& rec,
+                                           Slot slot) const;
+
   int num_nodes_;
   Slot num_slots_;
   ScheduleOptions opts_;
@@ -121,8 +153,27 @@ class AccessScheduler {
   std::vector<Signature> group_;
   /// Per-slot, per-node scheduled-access counts (only kept when θ > 0).
   std::vector<std::uint16_t> node_counts_;  // [slot * num_nodes_ + node]
+  /// Per-slot mask of nodes whose count has reached θ (only kept when
+  /// θ > 0): placing another access on any of them would violate the cap.
+  std::vector<Signature> saturated_;
   /// Per-process slot occupancy.
   std::vector<std::vector<char>> occupied_;
+
+  /// σ table: sigma_[j] = weight(j, δ), precomputed once.
+  std::vector<double> sigma_;
+  /// Per-access scratch: reciprocal distance to each slot's group signature.
+  std::vector<double> inv_d_;
+  /// run_end_[s] = largest slot r with inv_d_ constant over [s, r], valid
+  /// inside the span of the current access.
+  std::vector<Slot> run_end_;
+
+  struct Candidate {
+    Slot slot;
+    double reuse;
+  };
+  // Reused per-call scratch (see schedule_into).
+  std::vector<Candidate> candidates_;
+  std::vector<std::uint32_t> order_;
 
   ScheduleStats stats_;
 };

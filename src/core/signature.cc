@@ -1,21 +1,15 @@
 #include "core/signature.h"
 
-#include <bit>
-#include <cassert>
 #include <stdexcept>
 
 namespace dasched {
 
-namespace {
-constexpr int kWordBits = 64;
-constexpr std::size_t words_for(int n) {
-  return static_cast<std::size_t>((n + kWordBits - 1) / kWordBits);
-}
-}  // namespace
-
-Signature::Signature(int num_nodes)
-    : n_(num_nodes), words_(words_for(num_nodes), 0) {
+Signature::Signature(int num_nodes) : n_(num_nodes) {
   assert(num_nodes >= 0);
+  if (num_nodes > kWordBits) {
+    rest_.assign(
+        static_cast<std::size_t>((num_nodes - 1) / kWordBits), 0);
+  }
 }
 
 Signature Signature::from_bits(std::string_view bits) {
@@ -36,68 +30,17 @@ Signature Signature::from_nodes(int num_nodes, std::initializer_list<int> nodes)
   return s;
 }
 
-void Signature::set(int node) {
-  assert(node >= 0 && node < n_);
-  words_[static_cast<std::size_t>(node / kWordBits)] |= 1ULL << (node % kWordBits);
-}
-
-void Signature::reset(int node) {
-  assert(node >= 0 && node < n_);
-  words_[static_cast<std::size_t>(node / kWordBits)] &= ~(1ULL << (node % kWordBits));
-}
-
-bool Signature::test(int node) const {
-  assert(node >= 0 && node < n_);
-  return (words_[static_cast<std::size_t>(node / kWordBits)] >>
-          (node % kWordBits)) & 1ULL;
-}
-
-int Signature::popcount() const {
-  int total = 0;
-  for (std::uint64_t w : words_) total += std::popcount(w);
-  return total;
-}
-
-Signature& Signature::operator|=(const Signature& other) {
-  assert(n_ == other.n_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
-  return *this;
-}
-
 std::vector<int> Signature::nodes() const {
   std::vector<int> out;
-  for (int i = 0; i < n_; ++i) {
-    if (test(i)) out.push_back(i);
-  }
+  out.reserve(static_cast<std::size_t>(popcount()));
+  for_each_node([&out](int node) { out.push_back(node); });
   return out;
 }
 
 std::string Signature::to_string() const {
   std::string out(static_cast<std::size_t>(n_), '0');
-  for (int i = 0; i < n_; ++i) {
-    if (test(i)) out[static_cast<std::size_t>(i)] = '1';
-  }
+  for_each_node([&out](int node) { out[static_cast<std::size_t>(node)] = '1'; });
   return out;
-}
-
-int similarity(const Signature& a, const Signature& b) {
-  assert(a.n_ == b.n_);
-  int total = 0;
-  for (std::size_t i = 0; i < a.words_.size(); ++i)
-    total += std::popcount(a.words_[i] & b.words_[i]);
-  return total;
-}
-
-int difference(const Signature& a, const Signature& b) {
-  assert(a.n_ == b.n_);
-  int total = 0;
-  for (std::size_t i = 0; i < a.words_.size(); ++i)
-    total += std::popcount(a.words_[i] ^ b.words_[i]);
-  return total;
-}
-
-int distance(const Signature& a, const Signature& b) {
-  return a.size() - similarity(a, b) + difference(a, b);
 }
 
 }  // namespace dasched

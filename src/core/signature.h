@@ -10,8 +10,17 @@
 // would be reused) and `difference` counts positions where they differ
 // (additional nodes that would have to be turned on).  Smaller distance =
 // better I/O-node reuse.
+//
+// Representation: the first 64 bits live inline in a single word, so the
+// common configurations (Table II uses 8 I/O nodes) never touch the heap —
+// constructing, copying and OR-ing signatures is allocation-free, and
+// `similarity`/`difference`/`distance` are a couple of intrinsic popcounts.
+// Signatures over more than 64 nodes spill the remaining words into a
+// vector sized once at construction.
 #pragma once
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <initializer_list>
 #include <string>
@@ -35,19 +44,66 @@ class Signature {
   [[nodiscard]] static Signature from_nodes(int num_nodes,
                                             std::initializer_list<int> nodes);
 
-  void set(int node);
-  void reset(int node);
-  [[nodiscard]] bool test(int node) const;
+  void set(int node) {
+    assert(node >= 0 && node < n_);
+    if (node < kWordBits) {
+      word0_ |= 1ULL << node;
+    } else {
+      rest_[static_cast<std::size_t>(node / kWordBits) - 1] |=
+          1ULL << (node % kWordBits);
+    }
+  }
+
+  void reset(int node) {
+    assert(node >= 0 && node < n_);
+    if (node < kWordBits) {
+      word0_ &= ~(1ULL << node);
+    } else {
+      rest_[static_cast<std::size_t>(node / kWordBits) - 1] &=
+          ~(1ULL << (node % kWordBits));
+    }
+  }
+
+  [[nodiscard]] bool test(int node) const {
+    assert(node >= 0 && node < n_);
+    if (node < kWordBits) return (word0_ >> node) & 1ULL;
+    return (rest_[static_cast<std::size_t>(node / kWordBits) - 1] >>
+            (node % kWordBits)) &
+           1ULL;
+  }
+
+  /// Zeroes every bit; keeps the node count and any spill storage.
+  void clear() {
+    word0_ = 0;
+    for (std::uint64_t& w : rest_) w = 0;
+  }
 
   /// Number of I/O nodes this signature ranges over (n).
   [[nodiscard]] int size() const { return n_; }
 
   /// Number of set bits.
-  [[nodiscard]] int popcount() const;
+  [[nodiscard]] int popcount() const {
+    int total = std::popcount(word0_);
+    for (std::uint64_t w : rest_) total += std::popcount(w);
+    return total;
+  }
 
-  [[nodiscard]] bool any() const { return popcount() > 0; }
+  /// True when any bit is set — early-exits on the first nonzero word.
+  [[nodiscard]] bool any() const {
+    if (word0_ != 0) return true;
+    for (std::uint64_t w : rest_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
 
-  Signature& operator|=(const Signature& other);
+  Signature& operator|=(const Signature& other) {
+    assert(n_ == other.n_);
+    word0_ |= other.word0_;
+    for (std::size_t i = 0; i < rest_.size(); ++i) rest_[i] |= other.rest_[i];
+    return *this;
+  }
+
   [[nodiscard]] friend Signature operator|(Signature a, const Signature& b) {
     a |= b;
     return a;
@@ -55,27 +111,77 @@ class Signature {
 
   bool operator==(const Signature&) const = default;
 
-  /// Indices of the set bits, ascending.
+  /// Visits the index of every set bit in ascending order — the
+  /// allocation-free replacement for `nodes()` on hot paths.
+  template <typename Fn>
+  void for_each_node(Fn&& fn) const {
+    for (std::uint64_t w = word0_; w != 0; w &= w - 1) {
+      fn(std::countr_zero(w));
+    }
+    for (std::size_t i = 0; i < rest_.size(); ++i) {
+      const int base = (static_cast<int>(i) + 1) * kWordBits;
+      for (std::uint64_t w = rest_[i]; w != 0; w &= w - 1) {
+        fn(base + std::countr_zero(w));
+      }
+    }
+  }
+
+  /// Indices of the set bits, ascending.  Allocates; tests and cold paths
+  /// only — hot paths use `for_each_node`.
   [[nodiscard]] std::vector<int> nodes() const;
 
   [[nodiscard]] std::string to_string() const;
 
+  /// True when the two signatures share at least one set bit.
+  [[nodiscard]] friend bool intersects(const Signature& a, const Signature& b) {
+    assert(a.n_ == b.n_);
+    if ((a.word0_ & b.word0_) != 0) return true;
+    for (std::size_t i = 0; i < a.rest_.size(); ++i) {
+      if ((a.rest_[i] & b.rest_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  /// Count of positions where both signatures have a 1.
+  [[nodiscard]] friend int similarity(const Signature& a, const Signature& b) {
+    assert(a.n_ == b.n_);
+    int total = std::popcount(a.word0_ & b.word0_);
+    for (std::size_t i = 0; i < a.rest_.size(); ++i)
+      total += std::popcount(a.rest_[i] & b.rest_[i]);
+    return total;
+  }
+
+  /// Count of positions where the signatures differ.
+  [[nodiscard]] friend int difference(const Signature& a, const Signature& b) {
+    assert(a.n_ == b.n_);
+    int total = std::popcount(a.word0_ ^ b.word0_);
+    for (std::size_t i = 0; i < a.rest_.size(); ++i)
+      total += std::popcount(a.rest_[i] ^ b.rest_[i]);
+    return total;
+  }
+
+  /// The paper's distance: n - similarity + difference.  Both signatures
+  /// must range over the same number of nodes.  One fused pass: n ≤ 64
+  /// costs two popcounts on a pair of inline words.
+  [[nodiscard]] friend int distance(const Signature& a, const Signature& b) {
+    assert(a.n_ == b.n_);
+    int total = a.n_ - std::popcount(a.word0_ & b.word0_) +
+                std::popcount(a.word0_ ^ b.word0_);
+    for (std::size_t i = 0; i < a.rest_.size(); ++i) {
+      total += std::popcount(a.rest_[i] ^ b.rest_[i]) -
+               std::popcount(a.rest_[i] & b.rest_[i]);
+    }
+    return total;
+  }
+
  private:
-  friend int similarity(const Signature&, const Signature&);
-  friend int difference(const Signature&, const Signature&);
+  static constexpr int kWordBits = 64;
 
   int n_ = 0;
-  std::vector<std::uint64_t> words_;
+  /// Bits 0..63 — the whole signature when n ≤ 64.
+  std::uint64_t word0_ = 0;
+  /// Bits 64.. in 64-bit words; empty (never allocated) when n ≤ 64.
+  std::vector<std::uint64_t> rest_;
 };
-
-/// Count of positions where both signatures have a 1.
-[[nodiscard]] int similarity(const Signature& a, const Signature& b);
-
-/// Count of positions where the signatures differ.
-[[nodiscard]] int difference(const Signature& a, const Signature& b);
-
-/// The paper's distance: n - similarity + difference.  Both signatures must
-/// range over the same number of nodes.
-[[nodiscard]] int distance(const Signature& a, const Signature& b);
 
 }  // namespace dasched

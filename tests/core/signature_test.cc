@@ -52,6 +52,51 @@ TEST(Signature, WorksBeyondOneWord) {
   EXPECT_EQ(s.nodes(), (std::vector<int>{0, 63, 64, 99}));
 }
 
+TEST(Signature, ForEachNodeVisitsAscending) {
+  const Signature s = Signature::from_nodes(16, {3, 0, 11});
+  std::vector<int> seen;
+  s.for_each_node([&seen](int node) { seen.push_back(node); });
+  EXPECT_EQ(seen, (std::vector<int>{0, 3, 11}));
+}
+
+TEST(Signature, ForEachNodeCrossesWordBoundaries) {
+  const Signature s = Signature::from_nodes(200, {0, 63, 64, 127, 128, 199});
+  std::vector<int> seen;
+  s.for_each_node([&seen](int node) { seen.push_back(node); });
+  EXPECT_EQ(seen, s.nodes());
+  EXPECT_EQ(seen, (std::vector<int>{0, 63, 64, 127, 128, 199}));
+}
+
+TEST(Signature, AnyChecksEveryWord) {
+  Signature s(200);
+  EXPECT_FALSE(s.any());
+  s.set(0);  // first word: the early-exit case
+  EXPECT_TRUE(s.any());
+  s.reset(0);
+  EXPECT_FALSE(s.any());
+  s.set(199);  // only the last spill word is nonzero
+  EXPECT_TRUE(s.any());
+}
+
+TEST(Signature, IntersectsDetectsSharedNodesAcrossWords) {
+  const Signature a = Signature::from_nodes(200, {5, 130});
+  const Signature b = Signature::from_nodes(200, {6, 130});
+  const Signature c = Signature::from_nodes(200, {6, 131});
+  EXPECT_TRUE(intersects(a, b));   // share node 130 (spill word)
+  EXPECT_TRUE(intersects(b, c));   // share node 6 (first word)
+  EXPECT_FALSE(intersects(a, c));  // disjoint
+  EXPECT_FALSE(intersects(a, Signature(200)));
+}
+
+TEST(Signature, ClearEmptiesAllWords) {
+  Signature s = Signature::from_nodes(200, {1, 64, 199});
+  ASSERT_TRUE(s.any());
+  s.clear();
+  EXPECT_FALSE(s.any());
+  EXPECT_EQ(s.popcount(), 0);
+  EXPECT_EQ(s, Signature(200));
+}
+
 TEST(Signature, EqualityComparesContent) {
   EXPECT_EQ(Signature::from_bits("0101"), Signature::from_bits("0101"));
   EXPECT_NE(Signature::from_bits("0101"), Signature::from_bits("0100"));
