@@ -120,4 +120,52 @@ void EnergyConservationCheck::on_finalized(const Disk& disk) {
   }
 }
 
+double EnergyConservationCheck::ledger_total_j() const {
+  double total = 0.0;
+  for (const auto& [disk, ledger] : ledgers_) total += ledger.expected_j;
+  return total;
+}
+
+std::array<double, kNumDiskStates> EnergyConservationCheck::ledger_by_state_j()
+    const {
+  std::array<double, kNumDiskStates> out{};
+  for (const auto& [disk, ledger] : ledgers_) {
+    for (int s = 0; s < kNumDiskStates; ++s) {
+      out[static_cast<std::size_t>(s)] +=
+          ledger.expected_by_state_j[static_cast<std::size_t>(s)];
+    }
+  }
+  return out;
+}
+
+void EnergyConservationCheck::cross_check_aggregate(
+    const std::array<double, kNumDiskStates>& by_state_j, double total_j,
+    SimTime when) {
+  double external_sum = 0.0;
+  for (double v : by_state_j) external_sum += v;
+
+  evaluated();
+  if (!close(external_sum, total_j)) {
+    std::ostringstream os;
+    os << "aggregate: external per-state energies sum to " << external_sum
+       << " J but the run's scalar total is " << total_j << " J";
+    fail(when, os.str());
+  }
+
+  const std::array<double, kNumDiskStates> ledger = ledger_by_state_j();
+  for (int s = 0; s < kNumDiskStates; ++s) {
+    evaluated();
+    if (!close(by_state_j[static_cast<std::size_t>(s)],
+               ledger[static_cast<std::size_t>(s)])) {
+      std::ostringstream os;
+      os << "aggregate: external energy in "
+         << to_string(static_cast<DiskState>(s)) << " is "
+         << by_state_j[static_cast<std::size_t>(s)]
+         << " J; the independent ledgers sum to "
+         << ledger[static_cast<std::size_t>(s)] << " J";
+      fail(when, os.str());
+    }
+  }
+}
+
 }  // namespace dasched

@@ -33,6 +33,19 @@ class EnergyConservationCheck final : public InvariantCheck,
   void on_state_change(const Disk& disk, DiskState from, DiskState to) override;
   void on_finalized(const Disk& disk) override;
 
+  // External aggregates ------------------------------------------------------
+  /// Cross-checks an externally derived per-state energy breakdown (the
+  /// telemetry summary's) against the independent ledgers and against the
+  /// run's scalar total `total_j` — the conservation invariant extended
+  /// across the telemetry path.  Records violations on divergence.
+  void cross_check_aggregate(
+      const std::array<double, kNumDiskStates>& by_state_j, double total_j,
+      SimTime when);
+
+  /// Sum of all disks' independent ledgers (valid after the run).
+  [[nodiscard]] double ledger_total_j() const;
+  [[nodiscard]] std::array<double, kNumDiskStates> ledger_by_state_j() const;
+
  private:
   struct Ledger {
     PowerModel model;

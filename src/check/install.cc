@@ -1,64 +1,29 @@
 #include "check/install.h"
 
-#include <memory>
-#include <vector>
-
 namespace dasched {
-
-namespace {
-
-/// Fans one disk's observer slot out to several checks (the energy and
-/// state-machine checks both tap every disk).
-class DiskObserverMux final : public DiskObserver {
- public:
-  void add(DiskObserver* tap) { taps_.push_back(tap); }
-
-  void on_state_change(const Disk& disk, DiskState from, DiskState to) override {
-    for (DiskObserver* t : taps_) t->on_state_change(disk, from, to);
-  }
-  void on_energy_accrued(const Disk& disk, DiskState state, Rpm rpm, SimTime dt,
-                         double joules) override {
-    for (DiskObserver* t : taps_) t->on_energy_accrued(disk, state, rpm, dt, joules);
-  }
-  void on_service_start(const Disk& disk, const DiskRequest& req) override {
-    for (DiskObserver* t : taps_) t->on_service_start(disk, req);
-  }
-  void on_request_submitted(const Disk& disk, const DiskRequest& req) override {
-    for (DiskObserver* t : taps_) t->on_request_submitted(disk, req);
-  }
-  void on_finalized(const Disk& disk) override {
-    for (DiskObserver* t : taps_) t->on_finalized(disk);
-  }
-
- private:
-  std::vector<DiskObserver*> taps_;
-};
-
-}  // namespace
 
 InstalledChecks install_audit(SimAuditor& auditor, Simulator& sim,
                               StorageSystem& storage, PolicyKind policy,
                               const PolicyConfig& policy_cfg) {
   InstalledChecks out;
   out.events = &auditor.add_check<EventQueueCheck>();
-  sim.set_observer(out.events);
+  sim.add_observer(out.events);
 
+  // Every layer multiplexes its observers natively (util/observer_list.h),
+  // so the checks attach side by side with any telemetry recorder.
   out.energy = &auditor.add_check<EnergyConservationCheck>();
   out.disk_state = &auditor.add_check<DiskStateMachineCheck>(policy, policy_cfg);
-  auto mux = std::make_shared<DiskObserverMux>();
-  mux->add(out.energy);
-  mux->add(out.disk_state);
 
   out.storage = &auditor.add_check<StorageAccountingCheck>(&storage.striping());
-  storage.set_observer(out.storage);
+  storage.add_observer(out.storage);
   for (int n = 0; n < storage.num_io_nodes(); ++n) {
     IoNode& node = storage.node(n);
-    node.set_observer(out.storage);
+    node.add_observer(out.storage);
     for (int d = 0; d < node.num_disks(); ++d) {
-      node.disk(d).set_observer(mux.get());
+      node.disk(d).add_observer(out.energy);
+      node.disk(d).add_observer(out.disk_state);
     }
   }
-  auditor.adopt(std::move(mux));
   return out;
 }
 

@@ -7,8 +7,9 @@
 //   ... run ...
 //   auditor.finalize();
 //
-// The auditor owns the checks and the observer fan-out objects; the layers
-// keep raw observer pointers, so the auditor must outlive the simulation.
+// The auditor owns the checks; the layers keep raw observer pointers (each
+// layer multiplexes observers natively, so audit composes with telemetry),
+// so the auditor must outlive the simulation.
 #pragma once
 
 #include "check/audit.h"

@@ -28,6 +28,9 @@ struct CompileOptions {
   /// When false the pipeline stops after slack analysis and every access is
   /// "scheduled" at its original point — the paper's baseline runs.
   bool enable_scheduling = true;
+  /// Optional passive tap on per-access placements (telemetry).  Not owned;
+  /// attached to the AccessScheduler for the duration of the compile.
+  SchedulerObserver* sched_observer = nullptr;
 };
 
 struct Compiled {

@@ -274,6 +274,7 @@ void AccessScheduler::schedule_into(std::span<const AccessRecord> accesses,
     }
 
     ScheduledAccess result{rec, rec.original, false};
+    bool theta_fallback = false;
     if (candidates_.empty()) {
       // The whole slack is occupied by this process's other accesses; pin to
       // the original point (the read must still happen there).
@@ -337,10 +338,14 @@ void AccessScheduler::schedule_into(std::span<const AccessRecord> accesses,
         }
         result.slot = best_slot;
         stats_.theta_fallbacks += 1;
+        theta_fallback = true;
       }
       place(rec, result.slot);
     }
 
+    observers_.notify([&](SchedulerObserver* o) {
+      o->on_access_placed(rec, result.slot, result.forced, theta_fallback);
+    });
     total_advance += static_cast<double>(rec.original - result.slot);
     out.push_back(std::move(result));
   }

@@ -40,9 +40,26 @@
 
 #include "core/access.h"
 #include "core/signature.h"
+#include "util/observer_list.h"
 #include "util/rng.h"
 
 namespace dasched {
+
+/// Passive tap on scheduling decisions, used by the telemetry recorder
+/// (src/telemetry).  With nothing attached each placement costs one empty
+/// list test.
+class SchedulerObserver {
+ public:
+  virtual ~SchedulerObserver() = default;
+
+  /// `rec` was committed to start at `slot`.  `forced` marks an access
+  /// pinned to its original point because its whole slack was occupied;
+  /// `theta_fallback` marks a placement that violates θ via the E_t rule.
+  virtual void on_access_placed(const AccessRecord& rec, Slot slot,
+                                bool forced, bool theta_fallback) {
+    (void)rec, (void)slot, (void)forced, (void)theta_fallback;
+  }
+};
 
 struct ScheduleOptions {
   /// Vertical reuse range δ (slots), Table II default 20.
@@ -130,6 +147,14 @@ class AccessScheduler {
   [[nodiscard]] Slot num_slots() const { return num_slots_; }
   [[nodiscard]] const ScheduleOptions& options() const { return opts_; }
 
+  /// Detaches every observer, then attaches `observer` (null = detach all).
+  /// Not owned.
+  void set_observer(SchedulerObserver* observer) { observers_.reset(observer); }
+  void add_observer(SchedulerObserver* observer) { observers_.add(observer); }
+  void remove_observer(SchedulerObserver* observer) {
+    observers_.remove(observer);
+  }
+
  private:
   [[nodiscard]] double reciprocal_distance(const AccessRecord& rec, Slot s) const;
   void ensure_process(int process);
@@ -175,6 +200,7 @@ class AccessScheduler {
   std::vector<Candidate> candidates_;
   std::vector<std::uint32_t> order_;
 
+  ObserverList<SchedulerObserver> observers_;
   ScheduleStats stats_;
 };
 

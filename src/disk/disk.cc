@@ -6,6 +6,17 @@
 
 namespace dasched {
 
+const char* to_string(PolicyDecision d) {
+  switch (d) {
+    case PolicyDecision::kSpinDown: return "spin-down";
+    case PolicyDecision::kPreWake: return "pre-wake";
+    case PolicyDecision::kSetRpm: return "set-rpm";
+    case PolicyDecision::kRestoreRpm: return "restore-rpm";
+    case PolicyDecision::kStepDown: return "step-down";
+  }
+  return "?";
+}
+
 const char* to_string(DiskState s) {
   switch (s) {
     case DiskState::kIdle: return "idle";
@@ -56,9 +67,9 @@ void Disk::accrue() {
     return;
   }
   const double joules = current_power_w() * to_sec(dt);
-  if (observer_ != nullptr) {
-    observer_->on_energy_accrued(*this, state_, rpm_, dt, joules);
-  }
+  observers_.notify([&](DiskObserver* o) {
+    o->on_energy_accrued(*this, state_, rpm_, dt, joules);
+  });
   stats_.energy_j += joules;
   stats_.energy_by_state_j[static_cast<int>(state_)] += joules;
   if (state_ == DiskState::kStandby) stats_.time_in_standby += dt;
@@ -73,24 +84,28 @@ void Disk::enter_state(DiskState s) {
   accrue();
   const DiskState from = state_;
   state_ = s;
-  if (observer_ != nullptr && from != s) {
-    observer_->on_state_change(*this, from, s);
+  if (from != s) {
+    observers_.notify(
+        [&](DiskObserver* o) { o->on_state_change(*this, from, s); });
   }
 }
 
 void Disk::end_stream_idle_if_needed() {
   if (!stream_idle_) return;
   stream_idle_ = false;
-  if (stats_.busy_time > 0) {
-    // Only gaps between busy periods count as idle periods; the quiet span
-    // before the first request of the run is not one.
-    stats_.idle_periods.add(sim_.now() - stream_idle_since_);
-  }
+  const SimTime duration = sim_.now() - stream_idle_since_;
+  // Only gaps between busy periods count as idle periods; the quiet span
+  // before the first request of the run is not one.
+  const bool counted = stats_.busy_time > 0;
+  if (counted) stats_.idle_periods.add(duration);
+  observers_.notify(
+      [&](DiskObserver* o) { o->on_stream_idle_end(*this, duration, counted); });
 }
 
 void Disk::submit(DiskRequest req) {
   end_stream_idle_if_needed();
-  if (observer_ != nullptr) observer_->on_request_submitted(*this, req);
+  observers_.notify(
+      [&](DiskObserver* o) { o->on_request_submitted(*this, req); });
   stats_.requests += 1;
   if (req.is_write) {
     stats_.writes += 1;
@@ -233,7 +248,7 @@ void Disk::start_service() {
     }
   }
   DiskRequest req = q.take(i);
-  if (observer_ != nullptr) observer_->on_service_start(*this, req);
+  observers_.notify([&](DiskObserver* o) { o->on_service_start(*this, req); });
 
   const Bytes dist = req.offset > head_pos_ ? req.offset - head_pos_
                                             : head_pos_ - req.offset;
@@ -276,11 +291,14 @@ void Disk::start_service() {
   in_service_complete_ = std::move(req.on_complete);
   sim_.schedule_after(total, [this, total] {
     stats_.busy_time += total;
+    observers_.notify(
+        [&](DiskObserver* o) { o->on_service_complete(*this, total); });
     EventFn cb = std::move(in_service_complete_);
     if (queue_empty()) {
       enter_state(DiskState::kIdle);
       stream_idle_ = true;
       stream_idle_since_ = sim_.now();
+      observers_.notify([&](DiskObserver* o) { o->on_stream_idle_begin(*this); });
       if (cb) cb();
       // The completion callback may have synchronously submitted a new
       // request, ending the idle period before it observably began.
@@ -315,7 +333,7 @@ SimTime Disk::expected_service_time(Bytes size, Rpm rpm) const {
 
 const DiskStats& Disk::finalize() {
   accrue();
-  if (observer_ != nullptr) observer_->on_finalized(*this);
+  observers_.notify([&](DiskObserver* o) { o->on_finalized(*this); });
   return stats_;
 }
 

@@ -22,12 +22,50 @@
 #include "disk/power_model.h"
 #include "sim/simulator.h"
 #include "util/histogram.h"
+#include "util/observer_list.h"
 #include "util/rng.h"
 #include "util/units.h"
 
 namespace dasched {
 
 class Disk;
+
+/// Classification of a power policy's control decisions, for telemetry.
+enum class PolicyDecision : int {
+  kSpinDown = 0,  // full spin-down committed
+  kPreWake,       // ahead-of-time spin-up / speed restore before predicted end
+  kSetRpm,        // transition to a reduced rotation speed
+  kRestoreRpm,    // return to full speed on request arrival
+  kStepDown,      // one staggered ladder step down
+};
+
+inline constexpr int kNumPolicyDecisions = 5;
+
+[[nodiscard]] const char* to_string(PolicyDecision d);
+
+/// Passive tap on a power policy's decisions, used by the telemetry
+/// recorder (src/telemetry).  Policies call the protected `note_*` helpers
+/// of `PowerPolicy` at each decision point; with nothing attached those
+/// cost one empty list test.
+class PolicyObserver {
+ public:
+  virtual ~PolicyObserver() = default;
+
+  /// The policy took `decision` on `disk`.  `predicted_idle` is the idle
+  /// estimate behind the decision (0 when the policy has none) and `rpm`
+  /// the target rotation speed (0 when not a speed decision).
+  virtual void on_policy_action(const Disk& disk, PolicyDecision decision,
+                                SimTime predicted_idle, Rpm rpm) {
+    (void)disk, (void)decision, (void)predicted_idle, (void)rpm;
+  }
+
+  /// An idle period the policy was watching ended: it had predicted
+  /// `predicted` of idleness and observed `actual`.
+  virtual void on_idle_observed(const Disk& disk, SimTime predicted,
+                                SimTime actual) {
+    (void)disk, (void)predicted, (void)actual;
+  }
+};
 
 /// Hardware power-management hook.  Concrete policies live in src/power.
 class PowerPolicy {
@@ -46,8 +84,28 @@ class PowerPolicy {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// Detaches every observer, then attaches `observer` (null = detach all).
+  /// Not owned.
+  void set_observer(PolicyObserver* observer) { observers_.reset(observer); }
+  void add_observer(PolicyObserver* observer) { observers_.add(observer); }
+  void remove_observer(PolicyObserver* observer) {
+    observers_.remove(observer);
+  }
+
  protected:
+  void note_action(PolicyDecision decision, SimTime predicted_idle, Rpm rpm) {
+    observers_.notify([&](PolicyObserver* o) {
+      o->on_policy_action(*disk_, decision, predicted_idle, rpm);
+    });
+  }
+  void note_idle_observed(SimTime predicted, SimTime actual) {
+    observers_.notify([&](PolicyObserver* o) {
+      o->on_idle_observed(*disk_, predicted, actual);
+    });
+  }
+
   Disk* disk_ = nullptr;
+  ObserverList<PolicyObserver> observers_;
 };
 
 struct DiskRequest {
@@ -64,9 +122,11 @@ struct DiskRequest {
 
 enum class DiskState : int;
 
-/// Passive tap on the disk model, used by the invariant auditor (src/check).
-/// All callbacks default to no-ops; a null observer costs one pointer test
-/// per transition/accrual, so the hooks stay in release builds.
+/// Passive tap on the disk model, used by the invariant auditor (src/check)
+/// and the telemetry recorder (src/telemetry).  All callbacks default to
+/// no-ops; with nothing attached each hook site costs one empty list test,
+/// so the hooks stay in release builds.  Multiple observers may be attached
+/// at once (audit + telemetry compose).
 class DiskObserver {
  public:
   virtual ~DiskObserver() = default;
@@ -90,6 +150,26 @@ class DiskObserver {
   /// A request entered the disk queues.
   virtual void on_request_submitted(const Disk& disk, const DiskRequest& req) {
     (void)disk, (void)req;
+  }
+
+  /// The mechanical service of the current request finished (the completion
+  /// callback has not run yet).  `service_time` covers seek + rotation +
+  /// transfer; the disk serves one request at a time, so this always pairs
+  /// with the latest `on_service_start`.
+  virtual void on_service_complete(const Disk& disk, SimTime service_time) {
+    (void)disk, (void)service_time;
+  }
+
+  /// The request stream went quiet: the queues drained and the last service
+  /// completed.  Pairs with the next `on_stream_idle_end`.
+  virtual void on_stream_idle_begin(const Disk& disk) { (void)disk; }
+
+  /// A request arrival ended the current request-stream idle gap after
+  /// `duration`.  `counted` mirrors DiskStats::idle_periods: the quiet span
+  /// before the first request of the run is reported but not counted.
+  virtual void on_stream_idle_end(const Disk& disk, SimTime duration,
+                                  bool counted) {
+    (void)disk, (void)duration, (void)counted;
   }
 
   /// `finalize()` accrued the trailing energy; stats are now complete.
@@ -147,8 +227,13 @@ class Disk {
   /// the policy.
   void set_policy(PowerPolicy* policy);
 
-  /// Attaches an audit observer (null to detach).  Not owned.
-  void set_observer(DiskObserver* observer) { observer_ = observer; }
+  /// Detaches every observer, then attaches `observer` (null = detach all).
+  /// Not owned.  Legacy single-consumer entry point; see `add_observer`.
+  void set_observer(DiskObserver* observer) { observers_.reset(observer); }
+  /// Adds one observer to the multiplexing list (audit and telemetry attach
+  /// side by side).  Not owned; duplicates and null are ignored.
+  void add_observer(DiskObserver* observer) { observers_.add(observer); }
+  void remove_observer(DiskObserver* observer) { observers_.remove(observer); }
 
   /// Enqueues a request.  `req.on_complete` fires when the data transfer
   /// finishes, however long power-mode recovery takes.
@@ -207,7 +292,7 @@ class Disk {
   PowerModel power_;
   Rng rng_;
   PowerPolicy* policy_ = nullptr;
-  DiskObserver* observer_ = nullptr;
+  ObserverList<DiskObserver> observers_;
 
   DiskState state_ = DiskState::kIdle;
   Rpm rpm_;

@@ -1,11 +1,44 @@
 #include "driver/experiment.h"
 
+#include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <stdexcept>
 
 #include "check/install.h"
+#include "telemetry/analytics.h"
+#include "telemetry/export.h"
+#include "telemetry/install.h"
+#include "telemetry/trace_io.h"
 
 namespace dasched {
+
+namespace {
+
+/// Relative tolerance between the telemetry energy-by-state aggregate and
+/// the run's scalar total.  Both sum the exact same accrual terms; only the
+/// cross-disk/cross-state addition order differs, so anything beyond
+/// re-association noise is a genuine telemetry bug.
+constexpr double kEnergyRelEps = 1e-9;
+
+void write_telemetry_artifacts(const std::string& dir,
+                               const TelemetryRecorder& recorder,
+                               const TelemetrySummary& summary) {
+  std::filesystem::create_directories(dir);
+  if (!save_trace(dir + "/trace.bin", recorder.buffer(), recorder.meta())) {
+    throw std::runtime_error("telemetry: cannot write " + dir + "/trace.bin");
+  }
+  std::ofstream sj(dir + "/summary.json");
+  std::ofstream cj(dir + "/trace.json");
+  if (!sj || !cj) {
+    throw std::runtime_error("telemetry: cannot open outputs under " + dir);
+  }
+  write_summary_json(sj, summary);
+  write_chrome_trace(cj, recorder.buffer(), recorder.meta());
+}
+
+}  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   if (!cfg.audit) return run_experiment(cfg, nullptr);
@@ -33,8 +66,21 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
 
   // Hook the auditor in before anything can schedule an event, so the
   // event-queue ledger sees the complete history.
+  InstalledChecks checks;
   if (auditor != nullptr) {
-    install_audit(*auditor, sim, storage, cfg.policy, cfg.policy_cfg);
+    checks = install_audit(*auditor, sim, storage, cfg.policy, cfg.policy_cfg);
+  }
+
+  // The telemetry recorder attaches beside the audit checks (every layer
+  // multiplexes observers) and is strictly passive.
+  std::unique_ptr<TelemetryRecorder> recorder;
+  if (cfg.telemetry.enabled()) {
+    recorder = std::make_unique<TelemetryRecorder>(cfg.telemetry.level);
+    TraceMeta& meta = recorder->meta();
+    meta.app = cfg.app;
+    meta.policy = static_cast<int>(cfg.policy);
+    meta.scheme = cfg.use_scheme;
+    install_telemetry(*recorder, sim, storage);
   }
 
   const App& app = app_by_name(cfg.app);
@@ -44,6 +90,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   copts.enable_scheduling = cfg.use_scheme;
   copts.slack.length_unit = app.length_unit;
   copts.slack.max_slack = cfg.max_slack;
+  if (recorder != nullptr && recorder->level() >= TraceLevel::kFull) {
+    copts.sched_observer = recorder.get();
+  }
   Compiled compiled = compile_trace(std::move(trace), storage.striping(), copts);
   if (auditor != nullptr) {
     audit_compiled(*auditor, compiled, copts.sched, copts.enable_scheduling);
@@ -72,6 +121,36 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   out.runtime = cluster.stats();
   out.sched = compiled.sched_stats;
   out.events = sim.events_executed();
+
+  if (recorder != nullptr) {
+    // finalize() above fired the trailing accruals, so the trace now tiles
+    // every disk's timeline completely.
+    recorder->meta().end_time = sim.now();
+    auto summary = std::make_shared<TelemetrySummary>(
+        analyze_trace(recorder->buffer(), recorder->meta()));
+
+    // Reconcile the energy-by-state breakdown against the scalar total.
+    // Under an auditor this extends the energy-conservation invariant;
+    // without one a divergence is a fatal telemetry bug.
+    if (checks.energy != nullptr) {
+      checks.energy->cross_check_aggregate(summary->energy_by_state_j,
+                                           out.energy_j, sim.now());
+    }
+    const double scale = std::max(std::fabs(out.energy_j), 1.0);
+    if (std::fabs(summary->energy_total_j - out.energy_j) >
+        kEnergyRelEps * scale) {
+      throw std::runtime_error(
+          "telemetry: energy-by-state breakdown diverges from the scalar "
+          "total for experiment '" +
+          cfg.app + "'");
+    }
+
+    if (!cfg.telemetry.dir.empty()) {
+      write_telemetry_artifacts(cfg.telemetry.dir, *recorder, *summary);
+    }
+    out.telemetry = std::move(summary);
+  }
+
   if (auditor != nullptr) {
     auditor->finalize();
     out.audited = true;

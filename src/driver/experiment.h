@@ -8,12 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "compiler/compile.h"
 #include "io/cluster.h"
 #include "power/policies.h"
 #include "storage/storage_system.h"
+#include "telemetry/events.h"
 #include "util/histogram.h"
 #include "workload/app.h"
 
@@ -26,6 +28,7 @@
 namespace dasched {
 
 class SimAuditor;
+struct TelemetrySummary;
 
 struct ExperimentConfig {
   std::string app = "hf";
@@ -45,6 +48,14 @@ struct ExperimentConfig {
   /// violation makes `run_experiment` throw with the audit report, so a
   /// DASCHED_AUDIT=ON build turns every test into an invariant test.
   bool audit = DASCHED_AUDIT_DEFAULT != 0;
+
+  /// Telemetry capture (src/telemetry).  Off by default; when enabled the
+  /// run is traced, the summary lands in ExperimentResult::telemetry, the
+  /// energy-by-state breakdown is reconciled against the scalar total, and
+  /// `telemetry.dir` (if set) receives trace.bin / summary.json /
+  /// trace.json.  The recorder is passive: enabling it cannot change any
+  /// simulation result.
+  TelemetryConfig telemetry;
 
   /// Slack bound: how far (in slots) the compiler may hoist an access.
   /// 0 = the full producer-to-consumer window (paper semantics); the runtime
@@ -68,6 +79,10 @@ struct ExperimentResult {
   /// (only ever non-zero with an external auditor, which does not throw).
   bool audited = false;
   std::int64_t audit_violations = 0;
+
+  /// Analytics summary of the traced run; null when telemetry was off.
+  /// Shared so grid sinks can aggregate without copying the histograms.
+  std::shared_ptr<const TelemetrySummary> telemetry;
 
   [[nodiscard]] double exec_minutes() const { return to_minutes(exec_time); }
 };

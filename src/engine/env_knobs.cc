@@ -54,4 +54,23 @@ int env_int(const char* name, int fallback) {
   return static_cast<int>(*parsed);
 }
 
+std::string env_string(const char* name, const char* fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : v;
+}
+
+TelemetryConfig telemetry_from_env() {
+  TelemetryConfig cfg;
+  cfg.dir = env_string("DASCHED_TRACE", "");
+  if (cfg.dir.empty()) return cfg;  // level stays kOff: capture disabled
+  const std::string level = env_string("DASCHED_TRACE_LEVEL", "state");
+  const auto parsed = parse_trace_level(level);
+  if (!parsed) {
+    die("DASCHED_TRACE_LEVEL", level.c_str(), "off|state|request|full");
+  }
+  cfg.level = *parsed;
+  if (cfg.level == TraceLevel::kOff) cfg.dir.clear();
+  return cfg;
+}
+
 }  // namespace dasched

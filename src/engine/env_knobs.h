@@ -8,6 +8,8 @@
 #include <optional>
 #include <string>
 
+#include "telemetry/events.h"
+
 namespace dasched {
 
 /// Parses the entire string as a floating-point number; nullopt on any
@@ -21,5 +23,14 @@ namespace dasched {
 /// prints `<name>: invalid value '<v>'` to stderr and exits with status 2.
 [[nodiscard]] double env_double(const char* name, double fallback);
 [[nodiscard]] int env_int(const char* name, int fallback);
+
+/// Raw environment lookup; `fallback` when unset (any set value is valid).
+[[nodiscard]] std::string env_string(const char* name, const char* fallback);
+
+/// Telemetry capture from the environment: DASCHED_TRACE names the output
+/// directory and enables tracing; DASCHED_TRACE_LEVEL selects
+/// {state,request,full} (default "state", "off" disables).  A malformed
+/// level is fatal, matching the other knobs.
+[[nodiscard]] TelemetryConfig telemetry_from_env();
 
 }  // namespace dasched

@@ -63,9 +63,15 @@ int resolve_grid_threads(int requested) {
 
 namespace {
 
-ExperimentResult run_cell(const GridCell& cell, bool audit) {
+ExperimentResult run_cell(const GridCell& cell, const GridRunOptions& opts) {
   ExperimentConfig cfg = cell.config;
-  cfg.audit = cfg.audit || audit;
+  cfg.audit = cfg.audit || opts.audit;
+  if (opts.telemetry.enabled()) {
+    cfg.telemetry = opts.telemetry;
+    if (!cfg.telemetry.dir.empty()) {
+      cfg.telemetry.dir += "/cell_" + std::to_string(cell.index);
+    }
+  }
   return run_experiment(cfg);
 }
 
@@ -84,7 +90,7 @@ GridResultSet run_grid(const ExperimentGrid& grid,
 
   if (threads <= 1) {
     for (std::size_t i = 0; i < cells.size(); ++i) {
-      results[i].result = run_cell(cells[i], opts.audit);
+      results[i].result = run_cell(cells[i], opts);
       if (opts.on_cell_done) opts.on_cell_done(cells[i]);
     }
     return GridResultSet{std::move(results)};
@@ -100,7 +106,7 @@ GridResultSet run_grid(const ExperimentGrid& grid,
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= cells.size()) break;
       try {
-        results[i].result = run_cell(cells[i], opts.audit);
+        results[i].result = run_cell(cells[i], opts);
         if (opts.on_cell_done) {
           const std::lock_guard<std::mutex> lock(mu);
           opts.on_cell_done(cells[i]);

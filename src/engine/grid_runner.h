@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "engine/experiment_grid.h"
+#include "telemetry/events.h"
 
 namespace dasched {
 
@@ -26,6 +27,11 @@ struct GridRunOptions {
   /// `run_grid` with the audit report (same contract as ExperimentConfig::
   /// audit, which this OR-combines with).
   bool audit = false;
+  /// Traces every cell at `telemetry.level`.  When `telemetry.dir` is set
+  /// each cell writes its artifacts under `<dir>/cell_<index>`; either way
+  /// the per-cell summary lands in ExperimentResult::telemetry for the
+  /// telemetry result sinks.
+  TelemetryConfig telemetry;
   /// Progress tap, called after each finished cell.  Serialized by the
   /// runner's mutex, so it may print without interleaving.
   std::function<void(const GridCell&)> on_cell_done;

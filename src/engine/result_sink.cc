@@ -6,6 +6,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "telemetry/analytics.h"
+
 namespace dasched {
 
 namespace {
@@ -17,6 +19,15 @@ std::string json_escape(const std::string& s) {
   for (const char c : s) {
     if (c == '"' || c == '\\') out.push_back('\\');
     out.push_back(c);
+  }
+  return out;
+}
+
+/// Display names use hyphens; column names want identifiers.
+std::string column_name(const char* display) {
+  std::string out = display;
+  for (char& c : out) {
+    if (c == '-') c = '_';
   }
   return out;
 }
@@ -116,6 +127,106 @@ void write_result_files(const GridResultSet& results,
                         const std::string& jsonl_path) {
   write_encoding(results, csv_path, &write_csv);
   write_encoding(results, jsonl_path, &write_jsonl);
+}
+
+void write_telemetry_csv(std::ostream& os, const GridResultSet& results) {
+  os << "app,policy,scheme,sweep,sweep_value,trace_level,energy_total_j";
+  for (int st = 0; st < kNumDiskStates; ++st) {
+    os << ",energy_" << column_name(to_string(static_cast<DiskState>(st)))
+       << "_j";
+  }
+  for (int st = 0; st < kNumDiskStates; ++st) {
+    os << ",residency_" << column_name(to_string(static_cast<DiskState>(st)))
+       << "_us";
+  }
+  os << ",idle_periods,idle_mean_us,idle_p50_us,idle_p95_us,idle_max_us,"
+        "idle_tw_mean_us,pred_observations,pred_mean_abs_error_us,"
+        "pred_mean_signed_error_us";
+  for (int d = 0; d < kNumPolicyDecisions; ++d) {
+    os << ",actions_"
+       << column_name(to_string(static_cast<PolicyDecision>(d)));
+  }
+  os << ",cache_hits,cache_misses,trace_events\n";
+
+  for (const GridCellResult& row : results.rows()) {
+    if (row.result.telemetry == nullptr) continue;
+    const TelemetrySummary& t = *row.result.telemetry;
+    const GridCell& c = row.cell;
+    os << c.app << ',' << to_string(c.policy) << ',' << (c.scheme ? 1 : 0)
+       << ',' << (c.has_sweep ? c.sweep_name : "") << ','
+       << (c.has_sweep ? c.sweep_value : 0.0) << ',' << to_string(t.meta.level)
+       << ',' << t.energy_total_j;
+    for (int st = 0; st < kNumDiskStates; ++st) {
+      os << ',' << t.energy_by_state_j[static_cast<std::size_t>(st)];
+    }
+    for (int st = 0; st < kNumDiskStates; ++st) {
+      os << ',' << t.residency[static_cast<std::size_t>(st)];
+    }
+    os << ',' << t.idle.total << ',' << t.idle.mean_us() << ','
+       << t.idle.percentile_us(0.50) << ',' << t.idle.percentile_us(0.95)
+       << ',' << t.idle.max_us << ',' << t.idle.time_weighted_mean_us() << ','
+       << t.prediction.observations << ',' << t.prediction.mean_abs_error_us()
+       << ',' << t.prediction.mean_signed_error_us();
+    for (int d = 0; d < kNumPolicyDecisions; ++d) {
+      os << ',' << t.policy_actions[static_cast<std::size_t>(d)];
+    }
+    os << ',' << t.cache_hits << ',' << t.cache_misses << ',' << t.trace_events
+       << '\n';
+  }
+}
+
+void write_telemetry_jsonl(std::ostream& os, const GridResultSet& results) {
+  for (const GridCellResult& row : results.rows()) {
+    if (row.result.telemetry == nullptr) continue;
+    const TelemetrySummary& t = *row.result.telemetry;
+    const GridCell& c = row.cell;
+    os << "{\"app\":\"" << json_escape(c.app) << "\",\"policy\":\""
+       << to_string(c.policy)
+       << "\",\"scheme\":" << (c.scheme ? "true" : "false");
+    if (c.has_sweep) {
+      os << ",\"sweep\":\"" << json_escape(c.sweep_name)
+         << "\",\"sweep_value\":" << c.sweep_value;
+    }
+    os << ",\"trace_level\":\"" << to_string(t.meta.level)
+       << "\",\"energy_total_j\":" << t.energy_total_j
+       << ",\"energy_by_state_j\":{";
+    for (int st = 0; st < kNumDiskStates; ++st) {
+      os << (st == 0 ? "" : ",") << '"'
+         << to_string(static_cast<DiskState>(st))
+         << "\":" << t.energy_by_state_j[static_cast<std::size_t>(st)];
+    }
+    os << "},\"residency_us\":{";
+    for (int st = 0; st < kNumDiskStates; ++st) {
+      os << (st == 0 ? "" : ",") << '"'
+         << to_string(static_cast<DiskState>(st))
+         << "\":" << t.residency[static_cast<std::size_t>(st)];
+    }
+    os << "},\"idle\":{\"periods\":" << t.idle.total
+       << ",\"mean_us\":" << t.idle.mean_us()
+       << ",\"p50_us\":" << t.idle.percentile_us(0.50)
+       << ",\"p95_us\":" << t.idle.percentile_us(0.95)
+       << ",\"max_us\":" << t.idle.max_us
+       << ",\"time_weighted_mean_us\":" << t.idle.time_weighted_mean_us()
+       << "},\"prediction\":{\"observations\":" << t.prediction.observations
+       << ",\"mean_abs_error_us\":" << t.prediction.mean_abs_error_us()
+       << ",\"mean_signed_error_us\":" << t.prediction.mean_signed_error_us()
+       << "},\"policy_actions\":{";
+    for (int d = 0; d < kNumPolicyDecisions; ++d) {
+      os << (d == 0 ? "" : ",") << '"'
+         << to_string(static_cast<PolicyDecision>(d))
+         << "\":" << t.policy_actions[static_cast<std::size_t>(d)];
+    }
+    os << "},\"cache_hits\":" << t.cache_hits
+       << ",\"cache_misses\":" << t.cache_misses
+       << ",\"trace_events\":" << t.trace_events << "}\n";
+  }
+}
+
+void write_telemetry_files(const GridResultSet& results,
+                           const std::string& csv_path,
+                           const std::string& jsonl_path) {
+  write_encoding(results, csv_path, &write_telemetry_csv);
+  write_encoding(results, jsonl_path, &write_telemetry_jsonl);
 }
 
 void emit_env_sinks(const GridResultSet& results) {

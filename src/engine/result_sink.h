@@ -35,4 +35,19 @@ void write_result_files(const GridResultSet& results,
 /// should be pointed at its own file).  No-op when neither is set.
 void emit_env_sinks(const GridResultSet& results);
 
+// ---- Telemetry aggregates -------------------------------------------------
+//
+// Separate files with their own schema: the grid CSV/JSONL above is a frozen
+// trajectory format, so per-cell telemetry (energy by state, residency,
+// idle-period quantiles, prediction accuracy, policy-action counts) gets its
+// own table.  Cells that ran without telemetry are skipped.
+
+void write_telemetry_csv(std::ostream& os, const GridResultSet& results);
+void write_telemetry_jsonl(std::ostream& os, const GridResultSet& results);
+
+/// Same path conventions as `write_result_files` ("" skips, "-" = stdout).
+void write_telemetry_files(const GridResultSet& results,
+                           const std::string& csv_path,
+                           const std::string& jsonl_path);
+
 }  // namespace dasched

@@ -26,6 +26,7 @@ void SimpleSpinDown::on_idle_begin() {
   timer_ = disk_->sim().schedule_after(delay, [this] {
     if (disk_->state() == DiskState::kIdle && disk_->queue_empty()) {
       disk_->request_spin_down();
+      note_action(PolicyDecision::kSpinDown, /*predicted_idle=*/0, /*rpm=*/0);
     }
   });
 }
@@ -58,6 +59,7 @@ bool PredictionSpinDown::still_idle() const {
 
 void PredictionSpinDown::commit(SimTime expected_remaining) {
   disk_->request_spin_down();
+  note_action(PolicyDecision::kSpinDown, expected_remaining, /*rpm=*/0);
   const DiskParams& p = disk_->params();
   // Fig. 2: transition back to active ahead of time to hide the spin-up.
   const SimTime wake_at =
@@ -66,6 +68,7 @@ void PredictionSpinDown::commit(SimTime expected_remaining) {
   wakeup_timer_.cancel();
   wakeup_timer_ = disk_->sim().schedule_at(std::max(wake_at, earliest), [this] {
     disk_->request_spin_up();
+    note_action(PolicyDecision::kPreWake, last_predicted_, /*rpm=*/0);
     // Should the idle period outlive the prediction, resume watching it.
     recheck_timer_.cancel();
     recheck_timer_ = disk_->sim().schedule_after(
@@ -78,6 +81,7 @@ void PredictionSpinDown::on_idle_begin() {
   const auto threshold = static_cast<SimTime>(
       cfg_.breakeven_margin * static_cast<double>(break_even()));
   const SimTime predicted = predictor_.predict();
+  last_predicted_ = predicted;
   if (predictor_.consecutive_same_class() >= 2 && predicted >= threshold) {
     commit(predicted);  // "starts to spin down the disk right away"
     return;
@@ -114,7 +118,9 @@ void PredictionSpinDown::recheck() {
 
 void PredictionSpinDown::on_request_arrival() {
   if (idle_since_.has_value()) {
-    predictor_.observe(disk_->sim().now() - *idle_since_);
+    const SimTime actual = disk_->sim().now() - *idle_since_;
+    predictor_.observe(actual);
+    note_idle_observed(last_predicted_, actual);
     idle_since_.reset();
   }
   recheck_timer_.cancel();
@@ -161,6 +167,7 @@ void HistoryMultiSpeed::commit(SimTime expected_remaining) {
   const Rpm target = choose_rpm(expected_remaining);
   if (target == disk_->params().max_rpm) return;
   disk_->request_rpm(target);
+  note_action(PolicyDecision::kSetRpm, expected_remaining, target);
   const SimTime up_t =
       disk_->params().rpm_transition_time(target, disk_->params().max_rpm);
   const SimTime down_t =
@@ -171,6 +178,8 @@ void HistoryMultiSpeed::commit(SimTime expected_remaining) {
       std::max(wake_at, disk_->sim().now() + down_t), [this, up_t] {
         if (!disk_->queue_empty()) return;
         disk_->request_rpm(disk_->params().max_rpm);
+        note_action(PolicyDecision::kPreWake, last_predicted_,
+                    disk_->params().max_rpm);
         // If the idle period outlives the prediction, keep watching it; the
         // escalating re-check may slow the disk down again.
         recheck_timer_.cancel();
@@ -182,6 +191,7 @@ void HistoryMultiSpeed::commit(SimTime expected_remaining) {
 void HistoryMultiSpeed::on_idle_begin() {
   idle_since_ = disk_->sim().now();
   const SimTime predicted = predictor_.predict();
+  last_predicted_ = predicted;
   if (predictor_.consecutive_same_class() >= 2 &&
       choose_rpm(predicted) != disk_->params().max_rpm) {
     commit(predicted);
@@ -219,7 +229,9 @@ void HistoryMultiSpeed::recheck() {
 
 void HistoryMultiSpeed::on_request_arrival() {
   if (idle_since_.has_value()) {
-    predictor_.observe(disk_->sim().now() - *idle_since_);
+    const SimTime actual = disk_->sim().now() - *idle_since_;
+    predictor_.observe(actual);
+    note_idle_observed(last_predicted_, actual);
     idle_since_.reset();
   }
   recheck_timer_.cancel();
@@ -227,6 +239,8 @@ void HistoryMultiSpeed::on_request_arrival() {
   if (disk_->desired_rpm() != disk_->params().max_rpm ||
       disk_->current_rpm() != disk_->params().max_rpm) {
     disk_->request_rpm(disk_->params().max_rpm);
+    note_action(PolicyDecision::kRestoreRpm, /*predicted_idle=*/0,
+                disk_->params().max_rpm);
   }
 }
 
@@ -251,6 +265,7 @@ void StaggeredMultiSpeed::step_down() {
   const Rpm next = std::max(p.min_rpm, disk_->desired_rpm() - p.rpm_step);
   if (next == disk_->desired_rpm()) return;  // already at the floor
   disk_->request_rpm(next);
+  note_action(PolicyDecision::kStepDown, /*predicted_idle=*/0, next);
   arm_step_timer();
 }
 
@@ -259,6 +274,8 @@ void StaggeredMultiSpeed::on_request_arrival() {
   if (disk_->desired_rpm() != disk_->params().max_rpm ||
       disk_->current_rpm() != disk_->params().max_rpm) {
     disk_->request_rpm(disk_->params().max_rpm);
+    note_action(PolicyDecision::kRestoreRpm, /*predicted_idle=*/0,
+                disk_->params().max_rpm);
     // Full-speed dwell before the ladder walk may begin again.
     cooldown_until_ = disk_->sim().now() + cfg_.staggered_cooldown;
   }

@@ -93,6 +93,7 @@ class PredictionSpinDown final : public PowerPolicy {
   PolicyConfig cfg_;
   IdlePredictor predictor_;
   std::optional<SimTime> idle_since_;
+  SimTime last_predicted_ = 0;  // prediction made at idle begin (telemetry)
   EventHandle recheck_timer_;
   EventHandle wakeup_timer_;
 };
@@ -120,6 +121,7 @@ class HistoryMultiSpeed final : public PowerPolicy {
   PolicyConfig cfg_;
   IdlePredictor predictor_;
   std::optional<SimTime> idle_since_;
+  SimTime last_predicted_ = 0;  // prediction made at idle begin (telemetry)
   EventHandle recheck_timer_;
   EventHandle restore_timer_;
 };

@@ -45,10 +45,11 @@ void Simulator::cancel_slot(std::uint32_t slot, std::uint32_t gen) {
 
 EventHandle Simulator::schedule_at(SimTime t, Callback cb) {
   const std::uint64_t seq = next_seq_++;
-  if (observer_ != nullptr) observer_->on_event_scheduled(seq, t, now_);
+  observers_.notify(
+      [&](SimObserver* o) { o->on_event_scheduled(seq, t, now_); });
   // Under audit the violation is recorded instead of aborting; either way the
   // clock must never be dragged backwards by a past-dated event.
-  assert((t >= now_ || observer_ != nullptr) &&
+  assert((t >= now_ || !observers_.empty()) &&
          "cannot schedule an event in the past");
   if (t < now_) t = now_;
   const std::uint32_t slot = acquire_slot();
@@ -68,11 +69,12 @@ bool Simulator::step() {
     queue_.pop();
     Record& rec = records_[ev.slot];
     if (rec.cancelled) {
-      if (observer_ != nullptr) observer_->on_event_discarded(ev.seq);
+      observers_.notify([&](SimObserver* o) { o->on_event_discarded(ev.seq); });
       release_slot(ev.slot);
       continue;
     }
-    if (observer_ != nullptr) observer_->on_event_fired(ev.seq, ev.time, false);
+    observers_.notify(
+        [&](SimObserver* o) { o->on_event_fired(ev.seq, ev.time, false); });
     now_ = ev.time;
     // Move the callback out and recycle the slot before invoking: the
     // callback may schedule new events (reusing this slot) or cancel others,

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/event_fn.h"
+#include "util/observer_list.h"
 #include "util/units.h"
 
 namespace dasched {
@@ -24,8 +25,10 @@ namespace dasched {
 class Simulator;
 
 /// Passive tap on the event engine, used by the invariant auditor
-/// (src/check).  All callbacks default to no-ops; a null observer costs one
-/// pointer test per schedule/fire, so the hooks stay in release builds.
+/// (src/check) and the telemetry recorder (src/telemetry).  All callbacks
+/// default to no-ops; with nothing attached each hook site costs one empty
+/// list test, so the hooks stay in release builds.  Multiple observers may
+/// be attached at once (audit + telemetry compose).
 class SimObserver {
  public:
   virtual ~SimObserver() = default;
@@ -103,9 +106,14 @@ class Simulator {
   /// True when no runnable events remain.
   [[nodiscard]] bool idle() const;
 
-  /// Attaches an audit observer (null to detach).  Not owned.
-  void set_observer(SimObserver* observer) { observer_ = observer; }
-  [[nodiscard]] SimObserver* observer() const { return observer_; }
+  /// Detaches every observer, then attaches `observer` (null = detach all).
+  /// Not owned.  Legacy single-consumer entry point; see `add_observer`.
+  void set_observer(SimObserver* observer) { observers_.reset(observer); }
+  /// Adds one observer to the multiplexing list (audit and telemetry attach
+  /// side by side).  Not owned; duplicates and null are ignored.
+  void add_observer(SimObserver* observer) { observers_.add(observer); }
+  void remove_observer(SimObserver* observer) { observers_.remove(observer); }
+  [[nodiscard]] bool has_observers() const { return !observers_.empty(); }
 
  private:
   friend class EventHandle;
@@ -137,7 +145,7 @@ class Simulator {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::int64_t executed_ = 0;
-  SimObserver* observer_ = nullptr;
+  ObserverList<SimObserver> observers_;
   std::vector<Record> records_;
   std::vector<std::uint32_t> free_slots_;
   std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;

@@ -29,9 +29,8 @@ void IoNode::fill_scratch_ops(Bytes offset, Bytes size, bool is_write) {
 }
 
 void IoNode::issue_disk_ops(JoinId join, bool background) {
-  if (observer_ != nullptr) {
-    observer_->on_disk_ops_issued(*this, scratch_ops_.size());
-  }
+  observers_.notify(
+      [&](IoNodeObserver* o) { o->on_disk_ops_issued(*this, scratch_ops_.size()); });
   // Disk::submit never runs completions synchronously, so `scratch_ops_`
   // cannot be clobbered by re-entry while we iterate it.
   for (const DiskOp& op : scratch_ops_) {
@@ -53,7 +52,8 @@ void IoNode::prefetch_after_miss(Bytes block_offset) {
   StorageCache::PrefetchList candidates;
   cache_.prefetch_candidates(block_offset, cfg_.prefetch_depth, candidates);
   for (const Bytes next : candidates) {
-    if (observer_ != nullptr) observer_->on_prefetch_issued(*this, next);
+    observers_.notify(
+        [&](IoNodeObserver* o) { o->on_prefetch_issued(*this, next); });
     cache_.insert(next);
     // Fire-and-forget disk reads; nobody waits on prefetches.
     fill_scratch_ops(next, cache_.block_size(), /*is_write=*/false);
@@ -63,14 +63,16 @@ void IoNode::prefetch_after_miss(Bytes block_offset) {
 
 void IoNode::read(Bytes offset, Bytes size, EventFn done, bool background) {
   assert(offset >= 0 && size > 0);
-  if (observer_ != nullptr) observer_->on_read(*this, offset, size, background);
+  observers_.notify(
+      [&](IoNodeObserver* o) { o->on_read(*this, offset, size, background); });
   const JoinId join = join_pool_.open(std::move(done));
 
   const Bytes first = cache_.align(offset);
   const Bytes last = cache_.align(offset + size - 1);
   for (Bytes b = first; b <= last; b += cache_.block_size()) {
     const bool hit = cache_.lookup(b);
-    if (observer_ != nullptr) observer_->on_block_lookup(*this, b, hit);
+    observers_.notify(
+        [&](IoNodeObserver* o) { o->on_block_lookup(*this, b, hit); });
     if (hit) {
       join_pool_.add(join);
       sim_.schedule_after(cfg_.cache_hit_latency,
@@ -88,7 +90,8 @@ void IoNode::read(Bytes offset, Bytes size, EventFn done, bool background) {
 
 void IoNode::write(Bytes offset, Bytes size, EventFn done) {
   assert(offset >= 0 && size > 0);
-  if (observer_ != nullptr) observer_->on_write(*this, offset, size);
+  observers_.notify(
+      [&](IoNodeObserver* o) { o->on_write(*this, offset, size); });
   // Ack-early write-behind: the storage cache absorbs the write and the
   // client continues after the cache latency; the disk writes drain in the
   // background.  (AccuSim's server caches behave the same way; this is what
@@ -116,7 +119,7 @@ IoNodeStats IoNode::finalize() {
     out.idle_periods.merge(s.idle_periods);
   }
   out.requests = out.cache.hits + out.cache.misses;
-  if (observer_ != nullptr) observer_->on_finalized(*this, out);
+  observers_.notify([&](IoNodeObserver* o) { o->on_finalized(*this, out); });
   return out;
 }
 

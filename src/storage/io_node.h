@@ -18,6 +18,7 @@
 #include "storage/join_pool.h"
 #include "storage/raid.h"
 #include "storage/storage_cache.h"
+#include "util/observer_list.h"
 #include "util/units.h"
 
 namespace dasched {
@@ -40,9 +41,11 @@ struct IoNodeConfig {
 class IoNode;
 struct IoNodeStats;
 
-/// Passive tap on an I/O node, used by the invariant auditor (src/check).
-/// All callbacks default to no-ops; a null observer costs one pointer test
-/// per request, so the hooks stay in release builds.
+/// Passive tap on an I/O node, used by the invariant auditor (src/check)
+/// and the telemetry recorder (src/telemetry).  All callbacks default to
+/// no-ops; with nothing attached each hook site costs one empty list test,
+/// so the hooks stay in release builds.  Multiple observers may be attached
+/// at once (audit + telemetry compose).
 class IoNodeObserver {
  public:
   virtual ~IoNodeObserver() = default;
@@ -106,14 +109,23 @@ class IoNode {
   /// drain in the background; `done` fires after the cache latency.
   void write(Bytes offset, Bytes size, EventFn done);
 
-  /// Attaches an audit observer (null to detach).  Not owned.
-  void set_observer(IoNodeObserver* observer) { observer_ = observer; }
+  /// Detaches every observer, then attaches `observer` (null = detach all).
+  /// Not owned.  Legacy single-consumer entry point; see `add_observer`.
+  void set_observer(IoNodeObserver* observer) { observers_.reset(observer); }
+  /// Adds one observer to the multiplexing list (audit and telemetry attach
+  /// side by side).  Not owned; duplicates and null are ignored.
+  void add_observer(IoNodeObserver* observer) { observers_.add(observer); }
+  void remove_observer(IoNodeObserver* observer) { observers_.remove(observer); }
 
   [[nodiscard]] int node_id() const { return node_id_; }
   [[nodiscard]] int num_disks() const { return static_cast<int>(disks_.size()); }
   [[nodiscard]] Disk& disk(int i) { return *disks_[static_cast<std::size_t>(i)]; }
   [[nodiscard]] const Disk& disk(int i) const {
     return *disks_[static_cast<std::size_t>(i)];
+  }
+  /// Power policy attached to disk `i`; nullptr for PolicyKind::kNone.
+  [[nodiscard]] PowerPolicy* policy(int i) {
+    return policies_[static_cast<std::size_t>(i)].get();
   }
   [[nodiscard]] StorageCache& cache() { return cache_; }
   [[nodiscard]] const StorageCache& cache() const { return cache_; }
@@ -135,7 +147,7 @@ class IoNode {
   Simulator& sim_;
   IoNodeConfig cfg_;
   int node_id_;
-  IoNodeObserver* observer_ = nullptr;
+  ObserverList<IoNodeObserver> observers_;
   StorageCache cache_;
   RaidLayout raid_;
   std::vector<std::unique_ptr<Disk>> disks_;

@@ -29,11 +29,10 @@ void StorageSystem::route(FileId f, Bytes offset, Bytes size, bool is_write,
   striping_.for_each_piece(f, offset, size, [this](const StripePiece& piece) {
     scratch_pieces_.push_back(piece);
   });
-  if (observer_ != nullptr) {
-    observer_->on_request_routed(
-        f, offset, size, is_write,
-        std::span<const StripePiece>(scratch_pieces_));
-  }
+  observers_.notify([&](StorageObserver* o) {
+    o->on_request_routed(f, offset, size, is_write,
+                         std::span<const StripePiece>(scratch_pieces_));
+  });
   for (const StripePiece& piece : scratch_pieces_) {
     join_pool_.add(join);
     const SimTime wire =

@@ -14,6 +14,7 @@
 #include "sim/simulator.h"
 #include "storage/io_node.h"
 #include "storage/striping.h"
+#include "util/observer_list.h"
 #include "util/units.h"
 
 namespace dasched {
@@ -33,7 +34,9 @@ struct StorageConfig {
 };
 
 /// Passive tap on client-level request routing, used by the invariant
-/// auditor (src/check) to re-check the stripe math on every access.
+/// auditor (src/check) to re-check the stripe math on every access and by
+/// the telemetry recorder (src/telemetry) to log request routing.  Multiple
+/// observers may be attached at once (audit + telemetry compose).
 class StorageObserver {
  public:
   virtual ~StorageObserver() = default;
@@ -92,8 +95,15 @@ class StorageSystem {
   [[nodiscard]] int num_io_nodes() const { return cfg_.num_io_nodes; }
   [[nodiscard]] IoNode& node(int i) { return *nodes_[static_cast<std::size_t>(i)]; }
 
-  /// Attaches an audit observer (null to detach).  Not owned.
-  void set_observer(StorageObserver* observer) { observer_ = observer; }
+  /// Detaches every observer, then attaches `observer` (null = detach all).
+  /// Not owned.  Legacy single-consumer entry point; see `add_observer`.
+  void set_observer(StorageObserver* observer) { observers_.reset(observer); }
+  /// Adds one observer to the multiplexing list (audit and telemetry attach
+  /// side by side).  Not owned; duplicates and null are ignored.
+  void add_observer(StorageObserver* observer) { observers_.add(observer); }
+  void remove_observer(StorageObserver* observer) {
+    observers_.remove(observer);
+  }
 
   /// Finalizes all nodes and aggregates system-wide statistics.
   StorageStats finalize();
@@ -105,7 +115,7 @@ class StorageSystem {
   Simulator& sim_;
   StorageConfig cfg_;
   StripingMap striping_;
-  StorageObserver* observer_ = nullptr;
+  ObserverList<StorageObserver> observers_;
   std::vector<std::unique_ptr<IoNode>> nodes_;
   JoinPool join_pool_;
   std::vector<StripePiece> scratch_pieces_;  // reused by route()

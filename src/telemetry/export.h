@@ -1,0 +1,33 @@
+// Trace exporters.
+//
+//  * write_chrome_trace — Chrome trace_event JSON (load in Perfetto or
+//    chrome://tracing).  One "process" per I/O node; per disk, one thread
+//    track of power-state slices ("X" complete events) and one of policy
+//    decisions ("i" instants), plus a queue-depth counter track.
+//  * write_summary_json — the analytics summary as a single JSON object
+//    (per-disk residency/energy, idle histograms with p50/p95/max,
+//    prediction accuracy, event counters).
+#pragma once
+
+#include <iosfwd>
+
+#include "telemetry/analytics.h"
+#include "telemetry/events.h"
+#include "telemetry/recorder.h"
+
+namespace dasched {
+
+/// Streams the trace as Chrome trace_event JSON.  Works at any level; with
+/// < kState there is nothing to draw but the output is still valid JSON.
+void write_chrome_trace(std::ostream& os, const TraceBuffer& buf,
+                        const TraceMeta& meta);
+
+/// Same, from a loaded trace (tools/trace_dump.cc offline conversion).
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceEvent>& events,
+                        const TraceMeta& meta);
+
+/// Writes the analytics summary as one JSON object.
+void write_summary_json(std::ostream& os, const TelemetrySummary& summary);
+
+}  // namespace dasched

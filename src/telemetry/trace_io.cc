@@ -1,0 +1,87 @@
+#include "telemetry/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace dasched {
+
+namespace {
+
+/// Fixed-size on-disk header following the magic.
+struct TraceFileHeader {
+  char app[32] = {};
+  std::int32_t policy = 0;
+  std::int32_t level = 0;
+  std::uint8_t scheme = 0;
+  std::uint8_t pad[7] = {};
+  std::uint64_t seed = 0;
+  std::int32_t num_nodes = 0;
+  std::int32_t disks_per_node = 0;
+  std::int64_t end_time = 0;
+  std::uint64_t event_count = 0;
+};
+
+static_assert(sizeof(TraceFileHeader) == 80);
+static_assert(std::is_trivially_copyable_v<TraceFileHeader>);
+
+}  // namespace
+
+bool save_trace(const std::string& path, const TraceBuffer& buf,
+                const TraceMeta& meta) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+
+  TraceFileHeader h;
+  std::strncpy(h.app, meta.app.c_str(), sizeof(h.app) - 1);
+  h.policy = meta.policy;
+  h.level = static_cast<std::int32_t>(meta.level);
+  h.scheme = meta.scheme ? 1 : 0;
+  h.seed = meta.seed;
+  h.num_nodes = meta.num_nodes;
+  h.disks_per_node = meta.disks_per_node;
+  h.end_time = meta.end_time;
+  h.event_count = buf.size();
+
+  os.write(kTraceMagic, sizeof(kTraceMagic));
+  os.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  buf.for_each([&os](const TraceEvent& ev) {
+    os.write(reinterpret_cast<const char*>(&ev), sizeof(ev));
+  });
+  os.flush();
+  return os.good();
+}
+
+std::optional<LoadedTrace> load_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+
+  char magic[sizeof(kTraceMagic)];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kTraceMagic, sizeof(magic)) != 0) {
+    return std::nullopt;
+  }
+
+  TraceFileHeader h;
+  is.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!is) return std::nullopt;
+
+  LoadedTrace out;
+  out.meta.app.assign(h.app, strnlen(h.app, sizeof(h.app)));
+  out.meta.policy = h.policy;
+  out.meta.level = static_cast<TraceLevel>(h.level);
+  out.meta.scheme = h.scheme != 0;
+  out.meta.seed = h.seed;
+  out.meta.num_nodes = h.num_nodes;
+  out.meta.disks_per_node = h.disks_per_node;
+  out.meta.end_time = h.end_time;
+
+  out.events.resize(h.event_count);
+  if (h.event_count > 0) {
+    is.read(reinterpret_cast<char*>(out.events.data()),
+            static_cast<std::streamsize>(h.event_count * sizeof(TraceEvent)));
+    if (!is) return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace dasched

@@ -1,0 +1,34 @@
+// Binary trace persistence.
+//
+// Layout: 8-byte magic "DSTRC001", one fixed-size POD header carrying the
+// run metadata, then `event_count` raw 32-byte TraceEvents.  The format is
+// host-endian — it is a per-run artifact consumed on the machine that wrote
+// it (tools/trace_dump.cc, tests), not an interchange format.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "telemetry/events.h"
+#include "telemetry/recorder.h"
+
+namespace dasched {
+
+inline constexpr char kTraceMagic[8] = {'D', 'S', 'T', 'R', 'C', '0', '0', '1'};
+
+/// A trace read back from disk.
+struct LoadedTrace {
+  TraceMeta meta;
+  std::vector<TraceEvent> events;
+};
+
+/// Writes the trace to `path`; false on any I/O error.
+[[nodiscard]] bool save_trace(const std::string& path, const TraceBuffer& buf,
+                              const TraceMeta& meta);
+
+/// Reads a trace written by `save_trace`; nullopt on missing file, bad
+/// magic, or a truncated event section.
+[[nodiscard]] std::optional<LoadedTrace> load_trace(const std::string& path);
+
+}  // namespace dasched

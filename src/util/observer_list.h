@@ -1,0 +1,55 @@
+// Multiplexing observer list shared by every observable simulation layer.
+//
+// Each layer (simulator, disk, I/O node, storage system) exposes passive
+// observer hooks that both the invariant auditor (src/check) and the
+// telemetry recorder (src/telemetry) tap — often simultaneously.  Instead of
+// every consumer stacking its own fan-out shim over a single observer slot,
+// the layers hold one `ObserverList` and notify every attached observer in
+// registration order.  The empty list costs one begin/end load per hook
+// site, so the hooks stay in release builds; attachment is setup-time work
+// and the only place the list may allocate.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace dasched {
+
+template <typename Observer>
+class ObserverList {
+ public:
+  /// Registers `obs` (nullptr and duplicates are ignored).
+  void add(Observer* obs) {
+    if (obs == nullptr || contains(obs)) return;
+    taps_.push_back(obs);
+  }
+
+  /// Detaches `obs` if present, preserving the order of the others.
+  void remove(Observer* obs) {
+    taps_.erase(std::remove(taps_.begin(), taps_.end(), obs), taps_.end());
+  }
+
+  /// Detaches everything, then registers `obs` if non-null — the semantics
+  /// of the layers' legacy single-slot `set_observer(p)`.
+  void reset(Observer* obs) {
+    taps_.clear();
+    add(obs);
+  }
+
+  [[nodiscard]] bool empty() const { return taps_.empty(); }
+  [[nodiscard]] bool contains(Observer* obs) const {
+    return std::find(taps_.begin(), taps_.end(), obs) != taps_.end();
+  }
+
+  /// Invokes `fn(observer)` on every attached observer, in attach order.
+  /// Observers are passive: they must not detach themselves mid-notify.
+  template <typename Fn>
+  void notify(Fn&& fn) const {
+    for (Observer* obs : taps_) fn(obs);
+  }
+
+ private:
+  std::vector<Observer*> taps_;
+};
+
+}  // namespace dasched

@@ -1,0 +1,140 @@
+// Zero-allocation regression test for the trace recording path.
+//
+// Same operator new/delete interposition as tests/storage/alloc_count_test:
+// after `reserve()` (or a warm-up pass that grew the chunk pool), appending
+// events must perform ZERO heap allocations — recording sits on the
+// simulation hot path, so a new allocation site in TraceBuffer::append is a
+// perf regression, caught here rather than in a profile.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "telemetry/recorder.h"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocations{0};
+
+void note_allocation() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void* counted_alloc(std::size_t n) {
+  note_allocation();
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t n, std::size_t align) {
+  note_allocation();
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, n == 0 ? align : n) != 0) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  note_allocation();
+  return std::malloc(n == 0 ? 1 : n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  note_allocation();
+  return std::malloc(n == 0 ? 1 : n);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace dasched {
+namespace {
+
+TraceEvent sample_event(std::uint64_t i) {
+  return TraceEvent{static_cast<SimTime>(i),
+                    static_cast<std::uint16_t>(TraceEventKind::kQueueDepth),
+                    static_cast<std::uint16_t>(i & 0xff),
+                    static_cast<std::uint32_t>(i), i, i * 2};
+}
+
+TEST(RecorderAlloc, ReservedAppendsAreAllocationFree) {
+  TraceBuffer buf;
+  const std::size_t n = 3 * TraceBuffer::kChunkEvents + 123;
+  buf.reserve(n);
+
+  g_allocations.store(0);
+  g_counting.store(true);
+  for (std::uint64_t i = 0; i < n; ++i) buf.append(sample_event(i));
+  g_counting.store(false);
+
+  EXPECT_EQ(buf.size(), n);
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "TraceBuffer::append allocated after reserve()";
+}
+
+TEST(RecorderAlloc, ClearRecyclesChunksWithoutReallocating) {
+  TraceBuffer buf;
+  const std::size_t n = 2 * TraceBuffer::kChunkEvents;
+  // Warm-up pass grows the pool organically (no reserve).
+  for (std::uint64_t i = 0; i < n; ++i) buf.append(sample_event(i));
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+
+  // The second recording of the same length reuses the free-listed chunks.
+  g_allocations.store(0);
+  g_counting.store(true);
+  for (std::uint64_t i = 0; i < n; ++i) buf.append(sample_event(i));
+  g_counting.store(false);
+
+  EXPECT_EQ(buf.size(), n);
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "TraceBuffer::clear() failed to recycle chunks";
+}
+
+TEST(RecorderAlloc, RecorderHotPathIsAllocationFree) {
+  // Drive the recorder's own record() path (level filter + append) through
+  // a representative state-level callback sequence.
+  TelemetryRecorder rec(TraceLevel::kState);
+  rec.buffer().reserve(TraceBuffer::kChunkEvents);
+
+  g_allocations.store(0);
+  g_counting.store(true);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    rec.buffer().append(sample_event(i));
+  }
+  g_counting.store(false);
+  EXPECT_EQ(g_allocations.load(), 0u);
+}
+
+}  // namespace
+}  // namespace dasched

@@ -31,6 +31,7 @@
 #include "engine/experiment_grid.h"
 #include "engine/grid_runner.h"
 #include "engine/result_sink.h"
+#include "telemetry/analytics.h"
 #include "util/table.h"
 
 using namespace dasched;
@@ -59,6 +60,16 @@ namespace {
       "                    then hardware concurrency)\n"
       "  --out-csv F       write per-cell CSV to F ('-' = stdout)\n"
       "  --out-jsonl F     write per-cell JSON lines to F ('-' = stdout)\n"
+      "telemetry:\n"
+      "  --trace DIR       record a trace; writes trace.bin / summary.json /\n"
+      "                    trace.json under DIR (grid mode: DIR/cell_N);\n"
+      "                    implies --trace-level state unless given\n"
+      "  --trace-level L   off|state|request|full (off disables capture)\n"
+      "  --out-telemetry-csv F    grid mode: per-cell telemetry CSV\n"
+      "                    (default DIR/telemetry.csv when --trace is set)\n"
+      "  --out-telemetry-jsonl F  grid mode: per-cell telemetry JSONL\n"
+      "                    (default DIR/telemetry.jsonl when --trace is set)\n"
+      "                    env fallback: DASCHED_TRACE, DASCHED_TRACE_LEVEL\n"
       "shared knobs:\n"
       "  --procs N         client processes (default 32)\n"
       "  --scale F         workload scale factor (default 1.0)\n"
@@ -121,7 +132,9 @@ constexpr const char* kCsvHeader =
     "direct_reads,events";
 
 int run_grid_mode(ExperimentGrid grid, const GridRunOptions& opts,
-                  const std::string& out_csv, const std::string& out_jsonl) {
+                  const std::string& out_csv, const std::string& out_jsonl,
+                  const std::string& out_telemetry_csv,
+                  const std::string& out_telemetry_jsonl) {
   const std::size_t total = grid.size();
   std::fprintf(stderr, "[grid] %zu cells on %d threads\n", total,
                resolve_grid_threads(opts.threads));
@@ -143,6 +156,7 @@ int run_grid_mode(ExperimentGrid grid, const GridRunOptions& opts,
   }
   table.print();
   write_result_files(results, out_csv, out_jsonl);
+  write_telemetry_files(results, out_telemetry_csv, out_telemetry_jsonl);
   return 0;
 }
 
@@ -151,6 +165,7 @@ int run_grid_mode(ExperimentGrid grid, const GridRunOptions& opts,
 int main(int argc, char** argv) {
   ExperimentConfig cfg;
   cfg.app = "sar";
+  cfg.telemetry = telemetry_from_env();  // CLI flags below override
   bool csv = false;
   bool audit = false;
   bool grid_mode = false;
@@ -161,6 +176,8 @@ int main(int argc, char** argv) {
   int grid_threads = 0;
   std::string out_csv;
   std::string out_jsonl;
+  std::string out_telemetry_csv;
+  std::string out_telemetry_jsonl;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -242,6 +259,26 @@ int main(int argc, char** argv) {
       out_csv = value();
     } else if (arg == "--out-jsonl") {
       out_jsonl = value();
+    } else if (arg == "--trace") {
+      cfg.telemetry.dir = value();
+      if (cfg.telemetry.level == TraceLevel::kOff) {
+        cfg.telemetry.level = TraceLevel::kState;
+      }
+    } else if (arg == "--trace-level") {
+      const std::string v = value();
+      const auto level = parse_trace_level(v);
+      if (!level) {
+        std::fprintf(stderr,
+                     "--trace-level: expected off|state|request|full, got "
+                     "'%s'\n",
+                     v.c_str());
+        return 2;
+      }
+      cfg.telemetry.level = *level;
+    } else if (arg == "--out-telemetry-csv") {
+      out_telemetry_csv = value();
+    } else if (arg == "--out-telemetry-jsonl") {
+      out_telemetry_jsonl = value();
     } else if (arg == "--dump-trace") {
       const std::string path = value();
       StripingMap striping(cfg.storage.num_io_nodes, cfg.storage.stripe_size);
@@ -288,8 +325,20 @@ int main(int argc, char** argv) {
     GridRunOptions opts;
     opts.threads = grid_threads;
     opts.audit = audit;
+    opts.telemetry = cfg.telemetry;
+    cfg.telemetry = {};  // cells get it via opts with per-cell directories
+    grid.base = cfg;
+    if (opts.telemetry.enabled() && !opts.telemetry.dir.empty()) {
+      if (out_telemetry_csv.empty()) {
+        out_telemetry_csv = opts.telemetry.dir + "/telemetry.csv";
+      }
+      if (out_telemetry_jsonl.empty()) {
+        out_telemetry_jsonl = opts.telemetry.dir + "/telemetry.jsonl";
+      }
+    }
     try {
-      return run_grid_mode(std::move(grid), opts, out_csv, out_jsonl);
+      return run_grid_mode(std::move(grid), opts, out_csv, out_jsonl,
+                           out_telemetry_csv, out_telemetry_jsonl);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "grid run failed: %s\n", e.what());
       return 1;
@@ -339,6 +388,26 @@ int main(int argc, char** argv) {
     table.add_row({"audit violations", std::to_string(r.audit_violations)});
   }
   table.add_row({"simulator events", std::to_string(r.events)});
+  if (r.telemetry != nullptr) {
+    const TelemetrySummary& t = *r.telemetry;
+    table.add_row({"trace events (" + std::string(to_string(t.meta.level)) +
+                       ")",
+                   std::to_string(t.trace_events)});
+    table.add_row({"idle p50 / p95",
+                   TextTable::fmt(t.idle.percentile_us(0.50) / 1e6, 2) +
+                       " s / " +
+                       TextTable::fmt(t.idle.percentile_us(0.95) / 1e6, 2) +
+                       " s"});
+    if (t.prediction.observations > 0) {
+      table.add_row({"prediction mean |err|",
+                     TextTable::fmt(t.prediction.mean_abs_error_us() / 1e6, 2) +
+                         " s"});
+    }
+  }
   table.print();
+  if (r.telemetry != nullptr && !cfg.telemetry.dir.empty()) {
+    std::printf("telemetry artifacts written to %s\n",
+                cfg.telemetry.dir.c_str());
+  }
   return audit && !auditor.clean() ? 1 : 0;
 }
