@@ -16,7 +16,7 @@ int main() {
 
   ExperimentGrid grid = base_grid({app});
   const GridResultSet baseline = run_bench_grid(grid);
-  const double base = baseline.find(app, PolicyKind::kNone, false).energy_j;
+  const double base = baseline.find(app, PolicyKind::kNone, false).energy_j.value();
 
   grid.policies = {PolicyKind::kHistory};
   grid.schemes = {true};
@@ -32,8 +32,8 @@ int main() {
       const ExperimentResult& r =
           slack_results.find(app, PolicyKind::kHistory, true, bound);
       table.add_row({std::to_string(static_cast<int>(bound)),
-                     TextTable::fmt(r.energy_j / 1'000.0, 1) + " kJ",
-                     TextTable::pct(r.energy_j / base),
+                     TextTable::fmt(r.energy_j.value() / 1'000.0, 1) + " kJ",
+                     TextTable::pct(r.energy_j.value() / base),
                      std::to_string(r.runtime.prefetches)});
     }
     table.print();
@@ -48,8 +48,8 @@ int main() {
       const ExperimentResult& r =
           buffer_results.find(app, PolicyKind::kHistory, true, mb);
       table.add_row({std::to_string(static_cast<int>(mb)) + " MB",
-                     TextTable::fmt(r.energy_j / 1'000.0, 1) + " kJ",
-                     TextTable::pct(r.energy_j / base),
+                     TextTable::fmt(r.energy_j.value() / 1'000.0, 1) + " kJ",
+                     TextTable::pct(r.energy_j.value() / base),
                      std::to_string(r.runtime.buffer_hits)});
     }
     table.print();

@@ -38,8 +38,8 @@ int main() {
   const MultiExperimentResult solo_b = run_multi({pair[1]}, false);
   const MultiExperimentResult solo_a_s = run_multi({pair[0]}, true);
   const MultiExperimentResult solo_b_s = run_multi({pair[1]}, true);
-  const double solo_energy = solo_a.energy_j + solo_b.energy_j;
-  const double solo_energy_s = solo_a_s.energy_j + solo_b_s.energy_j;
+  const double solo_energy = solo_a.energy_j.value() + solo_b.energy_j.value();
+  const double solo_energy_s = solo_a_s.energy_j.value() + solo_b_s.energy_j.value();
   table.add_row({"back-to-back, history",
                  TextTable::fmt(to_minutes(solo_a.makespan + solo_b.makespan), 2),
                  TextTable::fmt(solo_energy / 1'000.0, 1),
@@ -49,8 +49,8 @@ int main() {
   const MultiExperimentResult both_s = run_multi(pair, true);
   table.add_row({"co-scheduled, history",
                  TextTable::fmt(to_minutes(both.makespan), 2),
-                 TextTable::fmt(both.energy_j / 1'000.0, 1),
-                 TextTable::pct((both.energy_j - both_s.energy_j) / both.energy_j)});
+                 TextTable::fmt(both.energy_j.value() / 1'000.0, 1),
+                 TextTable::pct((both.energy_j.value() - both_s.energy_j.value()) / both.energy_j.value())});
   table.print();
   std::printf(
       "\nPer-application schedules are computed in isolation; the drop in\n"

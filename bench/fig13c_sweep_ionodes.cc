@@ -26,9 +26,9 @@ int main() {
     double with = 0.0;
     double base = 0.0;
     for (const std::string& app : sweep_app_names()) {
-      base += results.find(app, PolicyKind::kNone, false, n).energy_j;
-      without += results.find(app, PolicyKind::kHistory, false, n).energy_j;
-      with += results.find(app, PolicyKind::kHistory, true, n).energy_j;
+      base += results.find(app, PolicyKind::kNone, false, n).energy_j.value();
+      without += results.find(app, PolicyKind::kHistory, false, n).energy_j.value();
+      with += results.find(app, PolicyKind::kHistory, true, n).energy_j.value();
     }
     table.add_row({std::to_string(static_cast<int>(n)),
                    TextTable::pct(without / base), TextTable::pct(with / base),

@@ -23,8 +23,8 @@ int main() {
     double without = 0.0;
     double with = 0.0;
     for (const std::string& app : sweep_app_names()) {
-      without += results.find(app, PolicyKind::kHistory, false, d).energy_j;
-      with += results.find(app, PolicyKind::kHistory, true, d).energy_j;
+      without += results.find(app, PolicyKind::kHistory, false, d).energy_j.value();
+      with += results.find(app, PolicyKind::kHistory, true, d).energy_j.value();
     }
     table.add_row({std::to_string(static_cast<int>(d)),
                    TextTable::fmt(without / 1'000.0, 1) + " kJ",

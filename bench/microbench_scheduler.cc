@@ -208,14 +208,14 @@ void BM_StoragePathCachedRead(benchmark::State& state) {
   const FileId f = storage.create_file("hot", kib(64) * kBlocks);
   std::int64_t completed = 0;
   for (int i = 0; i < kBlocks; ++i) {           // warm the node caches
-    storage.read(f, static_cast<Bytes>(i) * kib(64), kib(64),
+    storage.read(f, (i) * kib(64), kib(64),
                  [&completed] { ++completed; });
   }
   sim.run();
   constexpr int kReadsPerIter = 1'024;
   for (auto _ : state) {
     for (int i = 0; i < kReadsPerIter; ++i) {
-      storage.read(f, static_cast<Bytes>(i % kBlocks) * kib(64), kib(64),
+      storage.read(f, (i % kBlocks) * kib(64), kib(64),
                    [&completed] { ++completed; });
     }
     sim.run();
@@ -240,7 +240,7 @@ void BM_StoragePathDiskMiss(benchmark::State& state) {
   constexpr int kReadsPerIter = 512;
   for (auto _ : state) {
     for (int i = 0; i < kReadsPerIter; ++i) {
-      storage.read(f, static_cast<Bytes>(pos % kBlocks) * kib(64), kib(64),
+      storage.read(f, (pos % kBlocks) * kib(64), kib(64),
                    [&completed] { ++completed; });
       pos += 1;
     }
@@ -263,7 +263,7 @@ void BM_StoragePathWriteBurst(benchmark::State& state) {
   Rng rng(99);
   std::vector<Bytes> offsets(2'048);
   for (Bytes& o : offsets) {
-    o = static_cast<Bytes>(rng.next_below(kBlocks)) * kib(64);
+    o = (rng.next_below(kBlocks)) * kib(64);
   }
   std::int64_t completed = 0;
   for (auto _ : state) {

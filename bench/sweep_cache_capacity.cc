@@ -28,8 +28,8 @@ int main() {
     for (const std::string& app : sweep_app_names()) {
       const ExperimentResult& a =
           results.find(app, PolicyKind::kHistory, false, mb);
-      without += a.energy_j;
-      with += results.find(app, PolicyKind::kHistory, true, mb).energy_j;
+      without += a.energy_j.value();
+      with += results.find(app, PolicyKind::kHistory, true, mb).energy_j.value();
       hits += a.storage.cache_hit_rate;
     }
     table.add_row({std::to_string(static_cast<int>(mb)) + " MB",

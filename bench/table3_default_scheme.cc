@@ -26,7 +26,7 @@ int main() {
     our_total_exec += r.exec_minutes();
     paper_total_exec += app.paper_exec_minutes;
     table.add_row({name, TextTable::fmt(r.exec_minutes(), 2),
-                   TextTable::fmt(r.energy_j / 1'000.0, 1),
+                   TextTable::fmt(r.energy_j.value() / 1'000.0, 1),
                    std::to_string(r.events),
                    TextTable::fmt(app.paper_exec_minutes, 1),
                    TextTable::fmt(app.paper_energy_joules, 1)});

@@ -28,11 +28,11 @@ namespace {
 ///   for r = 0..R-1:  read B[r];                          compute; write A[r]
 LoopProgram stencil(StripingMap& striping, int T, int R, int P) {
   using AE = AffineExpr;
-  const Bytes panel = kib(256);
+  const std::int64_t panel = kib(256).count();
   const FileId grid_a = striping.create_file(
-      "stencil.grid_a", static_cast<Bytes>(R) * P * panel);
+      "stencil.grid_a", (R) * P * panel);
   const FileId grid_b = striping.create_file(
-      "stencil.grid_b", static_cast<Bytes>(R) * P * panel);
+      "stencil.grid_b", (R) * P * panel);
 
   const AE r = AE::var("r");
   const AE p = AE::var("p");
@@ -119,7 +119,7 @@ int main() {
   const RuntimeStats rt = cluster.stats();
   TextTable table({"metric", "value"});
   table.add_row({"simulated exec", TextTable::fmt(to_sec(cluster.exec_time()), 2) + " s"});
-  table.add_row({"disk energy", TextTable::fmt(stats.energy_j / 1'000.0, 2) + " kJ"});
+  table.add_row({"disk energy", TextTable::fmt(stats.energy_j.value() / 1'000.0, 2) + " kJ"});
   table.add_row({"prefetches", std::to_string(rt.prefetches)});
   table.add_row({"buffer hits", std::to_string(rt.buffer_hits)});
   table.add_row({"RPM transitions", std::to_string(stats.rpm_changes)});

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   std::printf("running the Default Scheme baseline...\n");
   const ExperimentResult baseline = run_experiment(base);
   std::printf("baseline: %.2f simulated minutes, %.1f kJ disk energy\n\n",
-              baseline.exec_minutes(), baseline.energy_j / 1'000.0);
+              baseline.exec_minutes(), baseline.energy_j.value() / 1'000.0);
 
   TextTable table({"policy", "scheme", "energy vs default", "exec change",
                    "spin-downs", "RPM changes", "buffer hits"});

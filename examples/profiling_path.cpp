@@ -29,9 +29,9 @@ CompiledProgram record_trace(StripingMap& striping, int P, int steps) {
   const Bytes panel = kib(128);
   const int panels_per_proc = 48;
   const FileId mesh = striping.create_file(
-      "amr.mesh", static_cast<Bytes>(P) * panels_per_proc * panel);
+      "amr.mesh", (P) * panels_per_proc * panel);
   const FileId out = striping.create_file(
-      "amr.out", static_cast<Bytes>(P) * steps * panel);
+      "amr.out", (P) * steps * panel);
 
   TraceBuilder tb(P);
   Rng rng(2026);
@@ -41,9 +41,9 @@ CompiledProgram record_trace(StripingMap& striping, int P, int steps) {
       const int visits = 3 + static_cast<int>(rng.next_below(4));
       for (int v = 0; v < visits; ++v) {
         const auto panel_id =
-            static_cast<Bytes>(rng.next_below(panels_per_proc));
+            static_cast<std::int64_t>(rng.next_below(panels_per_proc));
         tb.read(p, mesh,
-                static_cast<Bytes>(p) * panels_per_proc * panel +
+                (p) * panels_per_proc * panel +
                     panel_id * panel,
                 panel);
         tb.compute(p, 4'000 + static_cast<SimTime>(rng.next_below(3'000)));
@@ -55,8 +55,8 @@ CompiledProgram record_trace(StripingMap& striping, int P, int steps) {
         }
       }
       tb.write(p, out,
-               static_cast<Bytes>(p) * steps * panel +
-                   static_cast<Bytes>(s) * panel,
+               (p) * steps * panel +
+                   (s) * panel,
                panel);
       tb.end_slot(p);
     }
@@ -87,7 +87,7 @@ double run_once(bool scheme, double* exec_s) {
   Cluster cluster(sim, storage, compiled, rt);
   cluster.run_to_completion();
   *exec_s = to_sec(cluster.exec_time());
-  return storage.finalize().energy_j;
+  return storage.finalize().energy_j.value();
 }
 
 }  // namespace

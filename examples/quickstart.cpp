@@ -26,10 +26,10 @@ namespace {
 /// Iterations are finer than the I/O calls (compute-only pad slots), which
 /// is what gives the scheduler room to move accesses; a mid-run checkpoint
 /// phase provides the idleness the power policy exploits.
-LoopProgram matmul(StripingMap& striping, int R, Bytes block, int P) {
-  const FileId u = striping.create_file("U", static_cast<Bytes>(R) * R * block);
-  const FileId v_file = striping.create_file("V", static_cast<Bytes>(R) * R * block);
-  const FileId w = striping.create_file("W", static_cast<Bytes>(R) * R * block);
+LoopProgram matmul(StripingMap& striping, int R, std::int64_t block, int P) {
+  const FileId u = striping.create_file("U", (R) * R * block);
+  const FileId v_file = striping.create_file("V", (R) * R * block);
+  const FileId w = striping.create_file("W", (R) * R * block);
 
   using AE = AffineExpr;
   const AE m = AE::var("m");
@@ -89,7 +89,7 @@ double run(PolicyKind policy, bool scheme, double* exec_minutes) {
 
   const int R = 64;
   const int P = 8;
-  LoopProgram prog = matmul(storage.striping(), R, kib(128), P);
+  LoopProgram prog = matmul(storage.striping(), R, kib(128).count(), P);
 
   CompileOptions copts;
   copts.enable_scheduling = scheme;
@@ -116,7 +116,7 @@ double run(PolicyKind policy, bool scheme, double* exec_minutes) {
 
   StorageStats stats = storage.finalize();
   if (exec_minutes != nullptr) *exec_minutes = to_minutes(cluster.exec_time());
-  return stats.energy_j;
+  return stats.energy_j.value();
 }
 
 }  // namespace

@@ -14,10 +14,13 @@
 #include "check/audit.h"
 #include "disk/disk.h"
 #include "power/policies.h"
+#include "util/annotations.h"
 
 namespace dasched {
 
-class DiskStateMachineCheck final : public InvariantCheck, public DiskObserver {
+class DASCHED_OBSERVER_PASSIVE DiskStateMachineCheck final
+    : public InvariantCheck,
+      public DiskObserver {
  public:
   /// `policy`/`cfg` describe the power policy driving the audited disks, so
   /// the policy-specific invariants (cooldowns, Staggered adjacency) apply.

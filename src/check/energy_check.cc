@@ -12,23 +12,27 @@ namespace {
 /// rounding noise are genuine mis-bookings.
 constexpr double kAbsEpsJ = 1e-6;
 
-bool close(double a, double b) {
-  const double scale = std::fabs(a) > std::fabs(b) ? std::fabs(a) : std::fabs(b);
-  return std::fabs(a - b) <= kAbsEpsJ + 1e-12 * scale;
+bool close(Joules a, Joules b) {
+  const double av = std::fabs(a.value());
+  const double bv = std::fabs(b.value());
+  const double scale = av > bv ? av : bv;
+  return std::fabs((a - b).value()) <= kAbsEpsJ + 1e-12 * scale;
 }
 
 }  // namespace
 
 EnergyConservationCheck::Ledger& EnergyConservationCheck::ledger_for(
     const Disk& disk) {
-  const auto it = ledgers_.find(&disk);
-  if (it != ledgers_.end()) return it->second;
-  return ledgers_.emplace(&disk, Ledger{disk.params()}).first->second;
+  const auto it = ledger_index_.find(&disk);
+  if (it != ledger_index_.end()) return ledgers_[it->second].second;
+  ledger_index_.emplace(&disk, ledgers_.size());
+  ledgers_.emplace_back(&disk, Ledger{disk.params()});
+  return ledgers_.back().second;
 }
 
-double EnergyConservationCheck::expected_power_w(const Ledger& ledger,
-                                                 const Disk& disk,
-                                                 DiskState state, Rpm rpm) {
+Watts EnergyConservationCheck::expected_power_w(const Ledger& ledger,
+                                                const Disk& disk,
+                                                DiskState state, Rpm rpm) {
   switch (state) {
     case DiskState::kIdle: return ledger.model.idle_w(rpm);
     case DiskState::kSeeking: return ledger.model.seek_w(rpm);
@@ -40,15 +44,15 @@ double EnergyConservationCheck::expected_power_w(const Ledger& ledger,
       return ledger.model.rpm_transition_w(disk.transition_from(),
                                            disk.transition_to());
   }
-  return 0.0;
+  return Watts{0.0};
 }
 
 void EnergyConservationCheck::on_energy_accrued(const Disk& disk,
                                                 DiskState state, Rpm rpm,
-                                                SimTime dt, double joules) {
+                                                SimTime dt, Joules joules) {
   evaluated();
   Ledger& ledger = ledger_for(disk);
-  const double expected = expected_power_w(ledger, disk, state, rpm) * to_sec(dt);
+  const Joules expected = expected_power_w(ledger, disk, state, rpm) * dt;
   if (!close(expected, joules)) {
     std::ostringstream os;
     os << "disk booked " << joules << " J for " << to_sec(dt) << " s in "
@@ -67,7 +71,7 @@ void EnergyConservationCheck::cross_check_total(const Disk& disk,
                                                 const char* where) {
   evaluated();
   const Ledger& ledger = ledger_for(disk);
-  const double booked = disk.stats().energy_j;
+  const Joules booked = disk.stats().energy_j;
   if (!close(ledger.expected_j, booked)) {
     std::ostringstream os;
     os << where << ": disk total energy " << booked
@@ -88,7 +92,7 @@ void EnergyConservationCheck::on_finalized(const Disk& disk) {
   Ledger& ledger = ledger_for(disk);
   const DiskStats& stats = disk.stats();
 
-  double by_state_sum = 0.0;
+  Joules by_state_sum{};
   for (int s = 0; s < kNumDiskStates; ++s) {
     by_state_sum += stats.energy_by_state_j[static_cast<std::size_t>(s)];
     if (!close(stats.energy_by_state_j[static_cast<std::size_t>(s)],
@@ -120,15 +124,15 @@ void EnergyConservationCheck::on_finalized(const Disk& disk) {
   }
 }
 
-double EnergyConservationCheck::ledger_total_j() const {
-  double total = 0.0;
+Joules EnergyConservationCheck::ledger_total_j() const {
+  Joules total{};
   for (const auto& [disk, ledger] : ledgers_) total += ledger.expected_j;
   return total;
 }
 
-std::array<double, kNumDiskStates> EnergyConservationCheck::ledger_by_state_j()
+std::array<Joules, kNumDiskStates> EnergyConservationCheck::ledger_by_state_j()
     const {
-  std::array<double, kNumDiskStates> out{};
+  std::array<Joules, kNumDiskStates> out{};
   for (const auto& [disk, ledger] : ledgers_) {
     for (int s = 0; s < kNumDiskStates; ++s) {
       out[static_cast<std::size_t>(s)] +=
@@ -139,10 +143,10 @@ std::array<double, kNumDiskStates> EnergyConservationCheck::ledger_by_state_j()
 }
 
 void EnergyConservationCheck::cross_check_aggregate(
-    const std::array<double, kNumDiskStates>& by_state_j, double total_j,
+    const std::array<Joules, kNumDiskStates>& by_state_j, Joules total_j,
     SimTime when) {
-  double external_sum = 0.0;
-  for (double v : by_state_j) external_sum += v;
+  Joules external_sum{};
+  for (Joules v : by_state_j) external_sum += v;
 
   evaluated();
   if (!close(external_sum, total_j)) {
@@ -152,7 +156,7 @@ void EnergyConservationCheck::cross_check_aggregate(
     fail(when, os.str());
   }
 
-  const std::array<double, kNumDiskStates> ledger = ledger_by_state_j();
+  const std::array<Joules, kNumDiskStates> ledger = ledger_by_state_j();
   for (int s = 0; s < kNumDiskStates; ++s) {
     evaluated();
     if (!close(by_state_j[static_cast<std::size_t>(s)],

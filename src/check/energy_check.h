@@ -10,14 +10,18 @@
 
 #include <array>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "check/audit.h"
 #include "disk/disk.h"
 #include "disk/power_model.h"
+#include "util/annotations.h"
 
 namespace dasched {
 
-class EnergyConservationCheck final : public InvariantCheck,
+class DASCHED_OBSERVER_PASSIVE EnergyConservationCheck final
+    : public InvariantCheck,
                                       public DiskObserver {
  public:
   explicit EnergyConservationCheck(SimAuditor& auditor)
@@ -29,7 +33,7 @@ class EnergyConservationCheck final : public InvariantCheck,
 
   // DiskObserver -------------------------------------------------------------
   void on_energy_accrued(const Disk& disk, DiskState state, Rpm rpm,
-                         SimTime dt, double joules) override;
+                         SimTime dt, Joules joules) override;
   void on_state_change(const Disk& disk, DiskState from, DiskState to) override;
   void on_finalized(const Disk& disk) override;
 
@@ -39,18 +43,18 @@ class EnergyConservationCheck final : public InvariantCheck,
   /// run's scalar total `total_j` — the conservation invariant extended
   /// across the telemetry path.  Records violations on divergence.
   void cross_check_aggregate(
-      const std::array<double, kNumDiskStates>& by_state_j, double total_j,
+      const std::array<Joules, kNumDiskStates>& by_state_j, Joules total_j,
       SimTime when);
 
   /// Sum of all disks' independent ledgers (valid after the run).
-  [[nodiscard]] double ledger_total_j() const;
-  [[nodiscard]] std::array<double, kNumDiskStates> ledger_by_state_j() const;
+  [[nodiscard]] Joules ledger_total_j() const;
+  [[nodiscard]] std::array<Joules, kNumDiskStates> ledger_by_state_j() const;
 
  private:
   struct Ledger {
     PowerModel model;
-    double expected_j = 0.0;
-    std::array<double, kNumDiskStates> expected_by_state_j{};
+    Joules expected_j{};
+    std::array<Joules, kNumDiskStates> expected_by_state_j{};
     std::array<SimTime, kNumDiskStates> residency{};
     explicit Ledger(const DiskParams& params) : model(params) {}
   };
@@ -58,12 +62,17 @@ class EnergyConservationCheck final : public InvariantCheck,
   Ledger& ledger_for(const Disk& disk);
   /// Wattage the disk must draw in `state` — the auditor's own reading of
   /// the power model, independent of `Disk::current_power_w`.
-  [[nodiscard]] static double expected_power_w(const Ledger& ledger,
-                                               const Disk& disk,
-                                               DiskState state, Rpm rpm);
+  [[nodiscard]] static Watts expected_power_w(const Ledger& ledger,
+                                              const Disk& disk,
+                                              DiskState state, Rpm rpm);
   void cross_check_total(const Disk& disk, const char* where);
 
-  std::unordered_map<const Disk*, Ledger> ledgers_;
+  // Ledgers are iterated when aggregating (float sums feed audit reports),
+  // so they live in a vector in first-accrual order — deterministic for a
+  // deterministic simulation.  The pointer-keyed unordered map is a
+  // lookup-only index; its iteration order can never reach a report.
+  std::unordered_map<const Disk*, std::size_t> ledger_index_;
+  std::vector<std::pair<const Disk*, Ledger>> ledgers_;
 };
 
 }  // namespace dasched

@@ -9,8 +9,8 @@ void EventQueueCheck::on_event_scheduled(std::uint64_t seq, SimTime t,
   evaluated();
   if (t < now) {
     fail(now, "event #" + std::to_string(seq) + " scheduled at t=" +
-                  std::to_string(t) + "us, in the past of now=" +
-                  std::to_string(now) + "us");
+                  std::to_string(t.count()) + "us, in the past of now=" +
+                  std::to_string(now.count()) + "us");
     t = now;  // the engine clamps; mirror it so the ledger stays in sync
   }
   pending_.emplace(seq, t);
@@ -29,15 +29,15 @@ void EventQueueCheck::on_event_fired(std::uint64_t seq, SimTime t,
   } else {
     if (it->second != t) {
       fail(t, "event #" + std::to_string(seq) + " fired at t=" +
-                  std::to_string(t) + "us but was scheduled for t=" +
-                  std::to_string(it->second) + "us");
+                  std::to_string(t.count()) + "us but was scheduled for t=" +
+                  std::to_string(it->second.count()) + "us");
     }
     pending_.erase(it);
   }
   if (t < last_fired_) {
     fail(t, "time ran backwards: event #" + std::to_string(seq) +
-                " fired at t=" + std::to_string(t) +
-                "us after an event at t=" + std::to_string(last_fired_) + "us");
+                " fired at t=" + std::to_string(t.count()) +
+                "us after an event at t=" + std::to_string(last_fired_.count()) + "us");
   }
   last_fired_ = t > last_fired_ ? t : last_fired_;
 }

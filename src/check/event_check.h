@@ -12,10 +12,13 @@
 
 #include "check/audit.h"
 #include "sim/simulator.h"
+#include "util/annotations.h"
 
 namespace dasched {
 
-class EventQueueCheck final : public InvariantCheck, public SimObserver {
+class DASCHED_OBSERVER_PASSIVE EventQueueCheck final
+    : public InvariantCheck,
+      public SimObserver {
  public:
   explicit EventQueueCheck(SimAuditor& auditor) : InvariantCheck(auditor) {}
 

@@ -1,6 +1,8 @@
 #include "check/storage_check.h"
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 namespace dasched {
 
@@ -144,9 +146,18 @@ void StorageAccountingCheck::on_finalized(const IoNode& node,
 
 void StorageAccountingCheck::at_end() {
   if (!routing_seen_) return;
+  // Walk nodes in id order so a multi-node failure always produces the
+  // same report, whatever the hash iteration order.
+  std::vector<int> ids;
+  ids.reserve(ledgers_.size());
+  // dasched-lint: allow(nondet-unordered-iter): keys are sorted below
+  // before any observable output is produced.
+  for (const auto& [id, ledger] : ledgers_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
   // Deliveries cross the simulated network, so a run cut short may leave
   // routed pieces in flight — delivered <= routed, never the reverse.
-  for (const auto& [id, ledger] : ledgers_) {
+  for (const int id : ids) {
+    const NodeLedger& ledger = ledgers_.at(id);
     evaluated();
     const auto it = routed_.find(id);
     const RoutedLedger routed = it == routed_.end() ? RoutedLedger{} : it->second;

@@ -17,10 +17,12 @@
 #include "storage/io_node.h"
 #include "storage/storage_system.h"
 #include "storage/striping.h"
+#include "util/annotations.h"
 
 namespace dasched {
 
-class StorageAccountingCheck final : public InvariantCheck,
+class DASCHED_OBSERVER_PASSIVE StorageAccountingCheck final
+    : public InvariantCheck,
                                      public IoNodeObserver,
                                      public StorageObserver {
  public:

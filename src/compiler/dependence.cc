@@ -55,8 +55,8 @@ bool may_alias(const AffineExpr& f, Bytes size_f,
 
   // Banerjee: the interval of h over the bounds must intersect the window.
   const ValueRange range = value_range(h, bounds);
-  const std::int64_t window_lo = -(size_f - 1);
-  const std::int64_t window_hi = size_g - 1;
+  const std::int64_t window_lo = -(size_f.count() - 1);
+  const std::int64_t window_hi = size_g.count() - 1;
   if (range.max < window_lo || range.min > window_hi) return false;
 
   // GCD: some constant c in the window must be attainable by the variable

@@ -101,7 +101,7 @@ struct PendingWrite {
 [[nodiscard]] int access_length(const IoOp& op, const SlackOptions& opts) {
   if (opts.length_unit <= 0) return 1;
   const Bytes units = (op.size + opts.length_unit - 1) / opts.length_unit;
-  return static_cast<int>(std::max<Bytes>(1, units));
+  return static_cast<int>(std::max<Bytes>(1, units).count());
 }
 
 }  // namespace

@@ -117,6 +117,8 @@ double AccessScheduler::cached_reuse_factor(const AccessRecord& rec,
 
 void AccessScheduler::ensure_process(int process) {
   if (static_cast<std::size_t>(process) >= occupied_.size()) {
+    // dasched-lint: allow(hot-alloc): warm-up growth; rows persist and are
+    // reused across schedule calls.
     occupied_.resize(static_cast<std::size_t>(process) + 1);
   }
   auto& rows = occupied_[static_cast<std::size_t>(process)];
@@ -204,6 +206,8 @@ void AccessScheduler::schedule_into(std::span<const AccessRecord> accesses,
                                     std::vector<ScheduledAccess>& out) {
   // Most-constrained-first: nondecreasing slack length, access id as the
   // deterministic tie-break.
+  // dasched-lint: allow(hot-alloc): scratch vectors keep their capacity
+  // across calls; growth only happens on the first, largest batch.
   order_.resize(accesses.size());
   std::iota(order_.begin(), order_.end(), 0u);
   std::sort(order_.begin(), order_.end(),
@@ -215,6 +219,8 @@ void AccessScheduler::schedule_into(std::span<const AccessRecord> accesses,
             });
 
   out.clear();
+  // dasched-lint: allow(hot-alloc): one up-front reserve per batch keeps
+  // the placement loop below allocation-free.
   out.reserve(accesses.size());
   double total_advance = 0.0;
 
@@ -266,10 +272,14 @@ void AccessScheduler::schedule_into(std::span<const AccessRecord> accesses,
 
     for (Slot s = lo; s <= hi; s += stride) {
       if (!available(rec.process, s, rec.length)) continue;
+      // dasched-lint: allow(hot-alloc): candidate scratch retains capacity
+      // across placements.
       candidates_.push_back({s, evaluate(s)});
     }
     if (stride > 1 && (hi - lo) % stride != 0 &&
         available(rec.process, hi, rec.length)) {
+      // dasched-lint: allow(hot-alloc): candidate scratch retains capacity
+      // across placements.
       candidates_.push_back({hi, evaluate(hi)});
     }
 
@@ -347,6 +357,8 @@ void AccessScheduler::schedule_into(std::span<const AccessRecord> accesses,
       o->on_access_placed(rec, result.slot, result.forced, theta_fallback);
     });
     total_advance += static_cast<double>(rec.original - result.slot);
+    // dasched-lint: allow(hot-alloc): the caller pre-reserves `out` (see
+    // Cluster::compile); growth here is first-run only.
     out.push_back(std::move(result));
   }
 

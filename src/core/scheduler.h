@@ -40,6 +40,7 @@
 
 #include "core/access.h"
 #include "core/signature.h"
+#include "util/annotations.h"
 #include "util/observer_list.h"
 #include "util/rng.h"
 
@@ -100,13 +101,13 @@ class AccessScheduler {
 
   /// Same, into a caller-provided result vector (cleared first).  With a
   /// warmed `out` capacity this performs zero heap allocations.
-  void schedule_into(std::span<const AccessRecord> accesses,
+  DASCHED_HOT void schedule_into(std::span<const AccessRecord> accesses,
                      std::vector<ScheduledAccess>& out);
 
   /// Clears the timeline (group signatures, θ counts, process occupancy,
   /// stats) and re-seeds the tie-break RNG, keeping every buffer's capacity
   /// — the allocation-free way to reuse one scheduler across runs.
-  void reset();
+  DASCHED_HOT void reset();
 
   // --- Introspection (also used by unit tests and incremental callers) -----
 

@@ -45,7 +45,7 @@ void Disk::set_policy(PowerPolicy* policy) {
   if (policy_ != nullptr) policy_->attach(*this);
 }
 
-double Disk::current_power_w() const {
+Watts Disk::current_power_w() const {
   switch (state_) {
     case DiskState::kIdle: return power_.idle_w(rpm_);
     case DiskState::kSeeking: return power_.seek_w(rpm_);
@@ -56,7 +56,7 @@ double Disk::current_power_w() const {
     case DiskState::kChangingSpeed:
       return power_.rpm_transition_w(transition_from_, transition_to_);
   }
-  return 0.0;
+  return Watts{0.0};
 }
 
 void Disk::accrue() {
@@ -66,7 +66,7 @@ void Disk::accrue() {
     last_accrue_ = now;
     return;
   }
-  const double joules = current_power_w() * to_sec(dt);
+  const Joules joules = current_power_w() * dt;
   observers_.notify([&](DiskObserver* o) {
     o->on_energy_accrued(*this, state_, rpm_, dt, joules);
   });

@@ -21,6 +21,7 @@
 #include "disk/elevator_queue.h"
 #include "disk/power_model.h"
 #include "sim/simulator.h"
+#include "util/annotations.h"
 #include "util/histogram.h"
 #include "util/observer_list.h"
 #include "util/rng.h"
@@ -138,7 +139,7 @@ class DiskObserver {
 
   /// `joules` were booked for `dt` spent in `state` at rotation speed `rpm`.
   virtual void on_energy_accrued(const Disk& disk, DiskState state, Rpm rpm,
-                                 SimTime dt, double joules) {
+                                 SimTime dt, Joules joules) {
     (void)disk, (void)state, (void)rpm, (void)dt, (void)joules;
   }
 
@@ -191,8 +192,8 @@ inline constexpr int kNumDiskStates = 7;
 [[nodiscard]] const char* to_string(DiskState s);
 
 struct DiskStats {
-  double energy_j = 0.0;
-  std::array<double, kNumDiskStates> energy_by_state_j{};
+  Joules energy_j{};
+  std::array<Joules, kNumDiskStates> energy_by_state_j{};
 
   std::int64_t requests = 0;
   std::int64_t reads = 0;
@@ -237,7 +238,7 @@ class Disk {
 
   /// Enqueues a request.  `req.on_complete` fires when the data transfer
   /// finishes, however long power-mode recovery takes.
-  void submit(DiskRequest req);
+  DASCHED_HOT void submit(DiskRequest req);
 
   // --- Policy-facing control ------------------------------------------------
   /// Begins a spin-down if the disk is idle; no-op otherwise.
@@ -278,10 +279,10 @@ class Disk {
 
  private:
   void accrue();
-  [[nodiscard]] double current_power_w() const;
+  [[nodiscard]] Watts current_power_w() const;
   void enter_state(DiskState s);
   void try_progress();
-  void start_service();
+  DASCHED_HOT void start_service();
   void begin_spin_up(SimTime duration);
   void abort_spin_down();
   void begin_rpm_transition();

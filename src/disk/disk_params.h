@@ -38,18 +38,18 @@ struct DiskParams {
   bool multi_speed = false;
 
   // --- Power (Table II, measured at max_rpm) -------------------------------
-  double idle_power_w = 17.1;
-  double active_power_w = 36.6;  // read/write
-  double seek_power_w = 32.1;
-  double standby_power_w = 7.2;
-  double spin_up_power_w = 44.8;
-  double spin_down_power_w = 10.0;  // decelerating spindle, mostly electronics
+  Watts idle_power_w{17.1};
+  Watts active_power_w{36.6};  // read/write
+  Watts seek_power_w{32.1};
+  Watts standby_power_w{7.2};
+  Watts spin_up_power_w{44.8};
+  Watts spin_down_power_w{10.0};  // decelerating spindle, mostly electronics
 
   /// Electronics floors: the non-motor share of each power figure.  Only the
   /// motor share scales quadratically with rotation speed (Eq. 1).
-  double idle_floor_w = 4.0;
-  double active_floor_w = 6.0;
-  double seek_floor_w = 6.0;
+  Watts idle_floor_w{4.0};
+  Watts active_floor_w{6.0};
+  Watts seek_floor_w{6.0};
 
   // --- Mode-transition timing ----------------------------------------------
   SimTime spin_up_time = sec(16.0);

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/units.h"
 
 namespace dasched {
@@ -25,7 +26,7 @@ class ElevatorQueue {
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
   /// Enqueues a request keyed by its disk offset (FIFO among equal offsets).
-  void push(Bytes offset, Request req) {
+  DASCHED_HOT void push(Bytes offset, Request req) {
     std::uint32_t slot;
     if (!free_slots_.empty()) {
       slot = free_slots_.back();
@@ -33,12 +34,16 @@ class ElevatorQueue {
       slab_[slot] = std::move(req);
     } else {
       slot = static_cast<std::uint32_t>(slab_.size());
+      // dasched-lint: allow(hot-alloc): slab growth is cold-path; slots
+      // recycle, so steady-state pushes reuse free_slots_.
       slab_.push_back(std::move(req));
     }
     const Entry entry{offset, next_seq_++, slot};
     const auto at = std::upper_bound(
         entries_.begin(), entries_.end(), offset,
         [](Bytes off, const Entry& e) { return off < e.offset; });
+    // dasched-lint: allow(hot-alloc): vector growth amortizes away; the
+    // index keeps its capacity across enqueue/dequeue cycles.
     entries_.insert(at, entry);
   }
 
@@ -58,11 +63,13 @@ class ElevatorQueue {
 
   /// Removes and returns the request at index `i`; its slab slot is
   /// recycled.
-  Request take(std::size_t i) {
+  DASCHED_HOT Request take(std::size_t i) {
     assert(i < entries_.size());
     const std::uint32_t slot = entries_[i].slot;
     entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
     Request out = std::move(slab_[slot]);
+    // dasched-lint: allow(hot-alloc): free-list growth is bounded by the
+    // slab high-water mark; steady state recycles capacity.
     free_slots_.push_back(slot);
     return out;
   }

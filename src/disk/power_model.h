@@ -13,30 +13,30 @@ class PowerModel {
  public:
   explicit PowerModel(const DiskParams& params) : p_(params) {}
 
-  [[nodiscard]] double idle_w(Rpm rpm) const {
+  [[nodiscard]] Watts idle_w(Rpm rpm) const {
     return scaled(p_.idle_power_w, p_.idle_floor_w, rpm);
   }
-  [[nodiscard]] double active_w(Rpm rpm) const {
+  [[nodiscard]] Watts active_w(Rpm rpm) const {
     return scaled(p_.active_power_w, p_.active_floor_w, rpm);
   }
-  [[nodiscard]] double seek_w(Rpm rpm) const {
+  [[nodiscard]] Watts seek_w(Rpm rpm) const {
     return scaled(p_.seek_power_w, p_.seek_floor_w, rpm);
   }
-  [[nodiscard]] double standby_w() const { return p_.standby_power_w; }
-  [[nodiscard]] double spin_up_w() const { return p_.spin_up_power_w; }
-  [[nodiscard]] double spin_down_w() const { return p_.spin_down_power_w; }
+  [[nodiscard]] Watts standby_w() const { return p_.standby_power_w; }
+  [[nodiscard]] Watts spin_up_w() const { return p_.spin_up_power_w; }
+  [[nodiscard]] Watts spin_down_w() const { return p_.spin_down_power_w; }
 
   /// Power drawn while changing speed between two ladder points.
-  [[nodiscard]] double rpm_transition_w(Rpm from, Rpm to) const {
-    const double hi = idle_w(from > to ? from : to);
+  [[nodiscard]] Watts rpm_transition_w(Rpm from, Rpm to) const {
+    const Watts hi = idle_w(from > to ? from : to);
     return p_.rpm_transition_power_factor * hi;
   }
 
  private:
-  [[nodiscard]] double scaled(double total_at_max, double floor, Rpm rpm) const {
-    const double motor = total_at_max - floor;
+  [[nodiscard]] Watts scaled(Watts total_at_max, Watts floor, Rpm rpm) const {
+    const Watts motor = total_at_max - floor;
     const double ratio = static_cast<double>(rpm) / static_cast<double>(p_.max_rpm);
-    return floor + motor * ratio * ratio;
+    return Watts{floor.value() + motor.value() * ratio * ratio};
   }
 
   DiskParams p_;

@@ -136,8 +136,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
       checks.energy->cross_check_aggregate(summary->energy_by_state_j,
                                            out.energy_j, sim.now());
     }
-    const double scale = std::max(std::fabs(out.energy_j), 1.0);
-    if (std::fabs(summary->energy_total_j - out.energy_j) >
+    const double scale = std::max(std::fabs(out.energy_j.value()), 1.0);
+    if (std::fabs((summary->energy_total_j - out.energy_j).value()) >
         kEnergyRelEps * scale) {
       throw std::runtime_error(
           "telemetry: energy-by-state breakdown diverges from the scalar "

@@ -69,7 +69,7 @@ struct ExperimentResult {
   bool scheme = false;
 
   SimTime exec_time = 0;
-  double energy_j = 0.0;
+  Joules energy_j{};
   StorageStats storage;
   RuntimeStats runtime;
   ScheduleStats sched;
@@ -101,13 +101,14 @@ struct ExperimentResult {
 /// Energy of `r` normalized to `baseline` (the paper's Fig. 12c/d y-axis).
 [[nodiscard]] inline double normalized_energy(const ExperimentResult& r,
                                               const ExperimentResult& baseline) {
-  return baseline.energy_j == 0.0 ? 0.0 : r.energy_j / baseline.energy_j;
+  return baseline.energy_j == Joules{0.0} ? 0.0
+                                          : r.energy_j / baseline.energy_j;
 }
 
 /// Execution-time degradation of `r` relative to `baseline` (Fig. 13a/b).
 [[nodiscard]] inline double degradation(const ExperimentResult& r,
                                         const ExperimentResult& baseline) {
-  return baseline.exec_time == 0
+  return baseline.exec_time == SimTime{0}
              ? 0.0
              : static_cast<double>(r.exec_time - baseline.exec_time) /
                    static_cast<double>(baseline.exec_time);

@@ -41,7 +41,7 @@ struct MultiExperimentResult {
   std::vector<SimTime> exec_times;
   /// Completion of the slowest application.
   SimTime makespan = 0;
-  double energy_j = 0.0;
+  Joules energy_j{};
   StorageStats storage;
   /// Per-application runtime statistics.
   std::vector<RuntimeStats> runtime;

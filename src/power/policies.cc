@@ -40,16 +40,16 @@ void SimpleSpinDown::on_request_arrival() { timer_.cancel(); }
 SimTime PredictionSpinDown::break_even() const {
   const DiskParams& p = disk_->params();
   const PowerModel& pm = disk_->power_model();
-  const double idle_w = pm.idle_w(p.max_rpm);
-  const double saved_per_sec = idle_w - pm.standby_w();
-  if (saved_per_sec <= 0) return std::numeric_limits<SimTime>::max();
+  const Watts idle_w = pm.idle_w(p.max_rpm);
+  const Watts saved_per_sec = idle_w - pm.standby_w();
+  if (saved_per_sec.value() <= 0) return std::numeric_limits<SimTime>::max();
   // Idle length L where spinning down + staying in standby + spinning back
   // up costs exactly as much as idling through:
   //   P_dn*t_dn + P_sb*(L - t_dn - t_up) + P_up*t_up = P_idle * L.
-  const double numerator =
-      pm.spin_down_w() * to_sec(p.spin_down_time) +
-      pm.spin_up_w() * to_sec(p.spin_up_time) -
-      pm.standby_w() * to_sec(p.spin_down_time + p.spin_up_time);
+  const Joules numerator =
+      pm.spin_down_w() * p.spin_down_time +
+      pm.spin_up_w() * p.spin_up_time -
+      pm.standby_w() * (p.spin_down_time + p.spin_up_time);
   return sec(numerator / saved_per_sec);
 }
 
@@ -134,10 +134,10 @@ void PredictionSpinDown::on_request_arrival() {
 Rpm HistoryMultiSpeed::choose_rpm(SimTime predicted_idle) const {
   const DiskParams& p = disk_->params();
   const PowerModel& pm = disk_->power_model();
-  const double idle_at_max_j = pm.idle_w(p.max_rpm) * to_sec(predicted_idle);
+  const Joules idle_at_max_j = pm.idle_w(p.max_rpm) * predicted_idle;
 
   Rpm best = p.max_rpm;
-  double best_j = idle_at_max_j;
+  Joules best_j = idle_at_max_j;
   for (Rpm r : p.rpm_levels()) {
     if (r == p.max_rpm) continue;
     const SimTime down_t = p.rpm_transition_time(p.max_rpm, r);
@@ -145,10 +145,10 @@ Rpm HistoryMultiSpeed::choose_rpm(SimTime predicted_idle) const {
     // Feasible only if we can reach the speed and come back within the
     // predicted idleness (the ahead-of-time return of Fig. 3a).
     if (down_t + up_t >= predicted_idle) continue;
-    const double trans_j = pm.rpm_transition_w(p.max_rpm, r) * to_sec(down_t) +
-                           pm.rpm_transition_w(r, p.max_rpm) * to_sec(up_t);
-    const double dwell_j = pm.idle_w(r) * to_sec(predicted_idle - down_t - up_t);
-    const double total = cfg_.breakeven_margin * (trans_j + dwell_j);
+    const Joules trans_j = pm.rpm_transition_w(p.max_rpm, r) * down_t +
+                           pm.rpm_transition_w(r, p.max_rpm) * up_t;
+    const Joules dwell_j = pm.idle_w(r) * (predicted_idle - down_t - up_t);
+    const Joules total = cfg_.breakeven_margin * (trans_j + dwell_j);
     if (total < best_j) {
       best_j = total;
       best = r;

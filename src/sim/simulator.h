@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/event_fn.h"
+#include "util/annotations.h"
 #include "util/observer_list.h"
 #include "util/units.h"
 
@@ -88,17 +89,17 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `cb` to run at absolute time `t` (>= now()).
-  EventHandle schedule_at(SimTime t, Callback cb);
+  DASCHED_HOT EventHandle schedule_at(SimTime t, Callback cb);
 
   /// Schedules `cb` to run `delay` after the current time.
-  EventHandle schedule_after(SimTime delay, Callback cb);
+  DASCHED_HOT EventHandle schedule_after(SimTime delay, Callback cb);
 
   /// Runs until the event queue drains or `until` is reached (events at
   /// exactly `until` still run).  Returns the final simulated time.
   SimTime run(SimTime until = std::numeric_limits<SimTime>::max());
 
   /// Runs a single event; returns false if the queue is empty.
-  bool step();
+  DASCHED_HOT bool step();
 
   /// Number of events executed so far.
   [[nodiscard]] std::int64_t events_executed() const { return executed_; }

@@ -25,6 +25,8 @@ IoNode::IoNode(Simulator& sim, IoNodeConfig cfg, int node_id, std::uint64_t seed
 void IoNode::fill_scratch_ops(Bytes offset, Bytes size, bool is_write) {
   scratch_ops_.clear();
   raid_.for_each_op(offset, size, is_write,
+                    // dasched-lint: allow(hot-alloc): scratch vector retains capacity
+                    // across requests.
                     [this](const DiskOp& op) { scratch_ops_.push_back(op); });
 }
 

@@ -18,6 +18,7 @@
 #include "storage/join_pool.h"
 #include "storage/raid.h"
 #include "storage/storage_cache.h"
+#include "util/annotations.h"
 #include "util/observer_list.h"
 #include "util/units.h"
 
@@ -83,7 +84,7 @@ class IoNodeObserver {
 };
 
 struct IoNodeStats {
-  double energy_j = 0.0;
+  Joules energy_j{};
   std::int64_t requests = 0;
   std::int64_t disk_requests = 0;
   std::int64_t spin_downs = 0;
@@ -103,11 +104,11 @@ class IoNode {
   /// Node-local read; `done` fires when every block of the range is
   /// available (cache hit or disk completion).  Background reads (runtime
   /// prefetches) yield to demand traffic at the disks.
-  void read(Bytes offset, Bytes size, EventFn done, bool background = false);
+  DASCHED_HOT void read(Bytes offset, Bytes size, EventFn done, bool background = false);
 
   /// Node-local write: the cache absorbs it (ack-early) and the disk writes
   /// drain in the background; `done` fires after the cache latency.
-  void write(Bytes offset, Bytes size, EventFn done);
+  DASCHED_HOT void write(Bytes offset, Bytes size, EventFn done);
 
   /// Detaches every observer, then attaches `observer` (null = detach all).
   /// Not owned.  Legacy single-consumer entry point; see `add_observer`.

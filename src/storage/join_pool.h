@@ -59,6 +59,8 @@ class JoinPool {
     EventFn done = std::move(rec.done);
     rec.done = EventFn();
     ++rec.gen;
+    // dasched-lint: allow(hot-alloc): free-list capacity is bounded by the
+    // pool high-water mark.
     free_slots_.push_back(id.slot);
     if (done) done();
   }
@@ -81,6 +83,8 @@ class JoinPool {
       free_slots_.pop_back();
       return slot;
     }
+    // dasched-lint: allow(hot-alloc): join-pool growth; slots recycle, so
+    // steady state allocates nothing.
     records_.emplace_back();
     return static_cast<std::uint32_t>(records_.size() - 1);
   }

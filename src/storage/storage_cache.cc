@@ -30,7 +30,7 @@ StorageCache::StorageCache(Bytes capacity, Bytes block_size)
 }
 
 std::size_t StorageCache::hash_index(Bytes key) const {
-  return static_cast<std::size_t>(mix(static_cast<std::uint64_t>(key))) &
+  return static_cast<std::size_t>(mix(static_cast<std::uint64_t>(key.count()))) &
          table_mask_;
 }
 

@@ -27,6 +27,8 @@ void StorageSystem::route(FileId f, Bytes offset, Bytes size, bool is_write,
 
   scratch_pieces_.clear();
   striping_.for_each_piece(f, offset, size, [this](const StripePiece& piece) {
+    // dasched-lint: allow(hot-alloc): scratch vector retains capacity
+    // across requests.
     scratch_pieces_.push_back(piece);
   });
   observers_.notify([&](StorageObserver* o) {

@@ -14,6 +14,7 @@
 #include "sim/simulator.h"
 #include "storage/io_node.h"
 #include "storage/striping.h"
+#include "util/annotations.h"
 #include "util/observer_list.h"
 #include "util/units.h"
 
@@ -52,7 +53,7 @@ class StorageObserver {
 };
 
 struct StorageStats {
-  double energy_j = 0.0;
+  Joules energy_j{};
   std::int64_t requests = 0;
   std::int64_t disk_requests = 0;
   std::int64_t spin_downs = 0;
@@ -77,11 +78,11 @@ class StorageSystem {
   /// File-relative read; `done` fires when every stripe piece has been
   /// served and the response has crossed the network back.  Background
   /// reads (runtime prefetches) yield to demand traffic at the disks.
-  void read(FileId f, Bytes offset, Bytes size, EventFn done,
+  DASCHED_HOT void read(FileId f, Bytes offset, Bytes size, EventFn done,
             bool background = false);
 
   /// File-relative write-through.
-  void write(FileId f, Bytes offset, Bytes size, EventFn done);
+  DASCHED_HOT void write(FileId f, Bytes offset, Bytes size, EventFn done);
 
   /// I/O-node signature of an access — shared with the compiler.
   [[nodiscard]] Signature signature(FileId f, Bytes offset, Bytes size) const {

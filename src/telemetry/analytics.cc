@@ -7,7 +7,7 @@
 namespace dasched {
 
 void LogHistogram::add(SimTime duration_us) {
-  const auto v = static_cast<std::uint64_t>(std::max<SimTime>(duration_us, 0));
+  const auto v = static_cast<std::uint64_t>(std::max<SimTime>(duration_us, 0).count());
   // Bucket i covers [2^i, 2^(i+1)); 0 and 1 both land in bucket 0.
   const int bucket =
       v <= 1 ? 0
@@ -71,7 +71,7 @@ void TraceAnalyzer::add(const TraceEvent& ev) {
       if (state < static_cast<std::size_t>(kNumDiskStates)) {
         d.residency[state] += static_cast<SimTime>(ev.arg1);
         // Same addition order as Disk::accrue -> bit-equal per (disk, state).
-        d.energy_by_state_j[state] += ev.arg0_double();
+        d.energy_by_state_j[state] += Joules{ev.arg0_double()};
       }
       break;
     }
@@ -154,7 +154,7 @@ TelemetrySummary TraceAnalyzer::finish(const TraceMeta& meta) {
     DiskTimeline& d = s_.disks[id];
     d.node = static_cast<int>(id) / dpn;
     d.local = static_cast<int>(id) % dpn;
-    double disk_total = 0.0;
+    Joules disk_total{};
     for (int st = 0; st < kNumDiskStates; ++st) {
       const auto i = static_cast<std::size_t>(st);
       s_.residency[i] += d.residency[i];

@@ -54,8 +54,8 @@ struct DiskTimeline {
   int node = 0;
   int local = 0;
   std::array<SimTime, kNumDiskStates> residency{};
-  std::array<double, kNumDiskStates> energy_by_state_j{};
-  double energy_j = 0.0;
+  std::array<Joules, kNumDiskStates> energy_by_state_j{};
+  Joules energy_j{};
   LogHistogram idle;  // counted stream-idle gaps only (Fig. 12 quantity)
   std::int64_t requests = 0;
   std::int64_t services = 0;
@@ -91,8 +91,8 @@ struct TelemetrySummary {
 
   // Aggregates over all disks.
   std::array<SimTime, kNumDiskStates> residency{};
-  std::array<double, kNumDiskStates> energy_by_state_j{};
-  double energy_total_j = 0.0;
+  std::array<Joules, kNumDiskStates> energy_by_state_j{};
+  Joules energy_total_j{};
   LogHistogram idle;
   PredictionStats prediction;
   std::array<std::int64_t, kNumPolicyDecisions> policy_actions{};

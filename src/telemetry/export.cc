@@ -139,7 +139,7 @@ void json_histogram(std::ostream& os, const LogHistogram& h) {
 }
 
 void json_state_array(std::ostream& os, const char* key,
-                      const std::array<double, kNumDiskStates>& v) {
+                      const std::array<Joules, kNumDiskStates>& v) {
   os << "\"" << key << "\":{";
   for (int s = 0; s < kNumDiskStates; ++s) {
     if (s > 0) os << ",";

@@ -27,9 +27,13 @@ void TraceBuffer::clear() {
 
 void TraceBuffer::grow() {
   if (!free_.empty()) {
+    // dasched-lint: allow(hot-alloc): pointer-array growth amortizes; a
+    // reserve() pre-sizes it for bounded captures.
     chunks_.push_back(std::move(free_.back()));
     free_.pop_back();
   } else {
+    // dasched-lint: allow(hot-alloc): chunk allocation is the documented
+    // cold path (once per kChunkEvents appends, never after clear()).
     chunks_.push_back(std::make_unique<Chunk>());
   }
 }
@@ -56,11 +60,11 @@ void TelemetryRecorder::on_state_change(const Disk& disk, DiskState from,
 }
 
 void TelemetryRecorder::on_energy_accrued(const Disk& disk, DiskState state,
-                                          Rpm rpm, SimTime dt, double joules) {
+                                          Rpm rpm, SimTime dt, Joules joules) {
   if (!wants(TraceLevel::kState)) return;
   record(disk.sim().now(), TraceEventKind::kEnergyAccrued, disk_id(disk),
          static_cast<std::uint32_t>(state), std::bit_cast<std::uint64_t>(joules),
-         static_cast<std::uint64_t>(dt));
+         static_cast<std::uint64_t>(dt.count()));
   (void)rpm;
 }
 
@@ -74,7 +78,7 @@ void TelemetryRecorder::on_stream_idle_end(const Disk& disk, SimTime duration,
                                            bool counted) {
   if (!wants(TraceLevel::kState)) return;
   record(disk.sim().now(), TraceEventKind::kStreamIdleEnd, disk_id(disk),
-         counted ? 1u : 0u, static_cast<std::uint64_t>(duration), 0);
+         counted ? 1u : 0u, static_cast<std::uint64_t>(duration.count()), 0);
 }
 
 void TelemetryRecorder::on_request_submitted(const Disk& disk,
@@ -85,8 +89,8 @@ void TelemetryRecorder::on_request_submitted(const Disk& disk,
   const SimTime now = disk.sim().now();
   const std::uint16_t id = disk_id(disk);
   record(now, TraceEventKind::kRequestSubmitted, id, aux,
-         static_cast<std::uint64_t>(req.offset),
-         static_cast<std::uint64_t>(req.size));
+         static_cast<std::uint64_t>(req.offset.count()),
+         static_cast<std::uint64_t>(req.size.count()));
   record(now, TraceEventKind::kQueueDepth, id, 0,
          static_cast<std::uint64_t>(disk.queue_depth()), 0);
 }
@@ -97,8 +101,8 @@ void TelemetryRecorder::on_service_start(const Disk& disk,
   const std::uint32_t aux =
       (req.is_write ? 1u : 0u) | (req.background ? 2u : 0u);
   record(disk.sim().now(), TraceEventKind::kServiceStart, disk_id(disk), aux,
-         static_cast<std::uint64_t>(req.offset),
-         static_cast<std::uint64_t>(req.size));
+         static_cast<std::uint64_t>(req.offset.count()),
+         static_cast<std::uint64_t>(req.size.count()));
 }
 
 void TelemetryRecorder::on_service_complete(const Disk& disk,
@@ -107,7 +111,7 @@ void TelemetryRecorder::on_service_complete(const Disk& disk,
   const SimTime now = disk.sim().now();
   const std::uint16_t id = disk_id(disk);
   record(now, TraceEventKind::kServiceComplete, id, 0,
-         static_cast<std::uint64_t>(service_time), 0);
+         static_cast<std::uint64_t>(service_time.count()), 0);
   record(now, TraceEventKind::kQueueDepth, id, 0,
          static_cast<std::uint64_t>(disk.queue_depth()), 0);
 }
@@ -124,7 +128,7 @@ void TelemetryRecorder::on_policy_action(const Disk& disk,
   if (!wants(TraceLevel::kState)) return;
   record(disk.sim().now(), TraceEventKind::kPolicyAction, disk_id(disk),
          static_cast<std::uint32_t>(decision),
-         static_cast<std::uint64_t>(predicted_idle),
+         static_cast<std::uint64_t>(predicted_idle.count()),
          static_cast<std::uint64_t>(rpm));
 }
 
@@ -132,8 +136,8 @@ void TelemetryRecorder::on_idle_observed(const Disk& disk, SimTime predicted,
                                          SimTime actual) {
   if (!wants(TraceLevel::kState)) return;
   record(disk.sim().now(), TraceEventKind::kIdleObserved, disk_id(disk), 0,
-         static_cast<std::uint64_t>(predicted),
-         static_cast<std::uint64_t>(actual));
+         static_cast<std::uint64_t>(predicted.count()),
+         static_cast<std::uint64_t>(actual.count()));
 }
 
 void TelemetryRecorder::on_read(const IoNode& node, Bytes offset, Bytes size,
@@ -141,14 +145,14 @@ void TelemetryRecorder::on_read(const IoNode& node, Bytes offset, Bytes size,
   if (!wants(TraceLevel::kRequest)) return;
   record(node.disk(0).sim().now(), TraceEventKind::kNodeRead,
          static_cast<std::uint16_t>(node.node_id()), background ? 1u : 0u,
-         static_cast<std::uint64_t>(offset), static_cast<std::uint64_t>(size));
+         static_cast<std::uint64_t>(offset.count()), static_cast<std::uint64_t>(size.count()));
 }
 
 void TelemetryRecorder::on_write(const IoNode& node, Bytes offset, Bytes size) {
   if (!wants(TraceLevel::kRequest)) return;
   record(node.disk(0).sim().now(), TraceEventKind::kNodeWrite,
          static_cast<std::uint16_t>(node.node_id()), 0,
-         static_cast<std::uint64_t>(offset), static_cast<std::uint64_t>(size));
+         static_cast<std::uint64_t>(offset.count()), static_cast<std::uint64_t>(size.count()));
 }
 
 void TelemetryRecorder::on_block_lookup(const IoNode& node, Bytes block,
@@ -156,14 +160,14 @@ void TelemetryRecorder::on_block_lookup(const IoNode& node, Bytes block,
   if (!wants(TraceLevel::kFull)) return;
   record(node.disk(0).sim().now(), TraceEventKind::kBlockLookup,
          static_cast<std::uint16_t>(node.node_id()), hit ? 1u : 0u,
-         static_cast<std::uint64_t>(block), 0);
+         static_cast<std::uint64_t>(block.count()), 0);
 }
 
 void TelemetryRecorder::on_prefetch_issued(const IoNode& node, Bytes block) {
   if (!wants(TraceLevel::kFull)) return;
   record(node.disk(0).sim().now(), TraceEventKind::kPrefetchIssued,
          static_cast<std::uint16_t>(node.node_id()), 0,
-         static_cast<std::uint64_t>(block), 0);
+         static_cast<std::uint64_t>(block.count()), 0);
 }
 
 void TelemetryRecorder::on_disk_ops_issued(const IoNode& node,
@@ -182,8 +186,8 @@ void TelemetryRecorder::on_request_routed(FileId f, Bytes offset, Bytes size,
       (is_write ? 1u : 0u) |
       (static_cast<std::uint32_t>(pieces.size() & 0x7fffffffu) << 1);
   record(sim_ != nullptr ? sim_->now() : 0, TraceEventKind::kRequestRouted,
-         static_cast<std::uint16_t>(f), aux, static_cast<std::uint64_t>(offset),
-         static_cast<std::uint64_t>(size));
+         static_cast<std::uint16_t>(f), aux, static_cast<std::uint64_t>(offset.count()),
+         static_cast<std::uint64_t>(size.count()));
 }
 
 void TelemetryRecorder::on_access_placed(const AccessRecord& rec, Slot slot,

@@ -27,6 +27,7 @@
 #include "storage/io_node.h"
 #include "storage/storage_system.h"
 #include "telemetry/events.h"
+#include "util/annotations.h"
 
 namespace dasched {
 
@@ -35,7 +36,7 @@ class TraceBuffer {
  public:
   static constexpr std::size_t kChunkEvents = 8192;
 
-  void append(const TraceEvent& ev) {
+  DASCHED_HOT void append(const TraceEvent& ev) {
     if (chunks_.empty() || chunks_.back()->used == kChunkEvents) grow();
     Chunk& c = *chunks_.back();
     c.events[c.used] = ev;
@@ -74,7 +75,8 @@ class TraceBuffer {
 };
 
 /// One recorder per run; attach with telemetry/install.h.
-class TelemetryRecorder final : public SimObserver,
+class DASCHED_OBSERVER_PASSIVE TelemetryRecorder final
+    : public SimObserver,
                                 public DiskObserver,
                                 public IoNodeObserver,
                                 public StorageObserver,
@@ -104,7 +106,7 @@ class TelemetryRecorder final : public SimObserver,
   // DiskObserver (kState / kRequest) -----------------------------------------
   void on_state_change(const Disk& disk, DiskState from, DiskState to) override;
   void on_energy_accrued(const Disk& disk, DiskState state, Rpm rpm,
-                         SimTime dt, double joules) override;
+                         SimTime dt, Joules joules) override;
   void on_stream_idle_begin(const Disk& disk) override;
   void on_stream_idle_end(const Disk& disk, SimTime duration,
                           bool counted) override;
@@ -143,7 +145,7 @@ class TelemetryRecorder final : public SimObserver,
     const auto it = disk_ids_.find(&disk);
     return it == disk_ids_.end() ? 0xffff : it->second;
   }
-  void record(SimTime t, TraceEventKind kind, std::uint16_t subject,
+  DASCHED_HOT void record(SimTime t, TraceEventKind kind, std::uint16_t subject,
               std::uint32_t aux, std::uint64_t arg0, std::uint64_t arg1) {
     buf_.append(TraceEvent{t, static_cast<std::uint16_t>(kind), subject, aux,
                            arg0, arg1});

@@ -39,7 +39,7 @@ bool save_trace(const std::string& path, const TraceBuffer& buf,
   h.seed = meta.seed;
   h.num_nodes = meta.num_nodes;
   h.disks_per_node = meta.disks_per_node;
-  h.end_time = meta.end_time;
+  h.end_time = meta.end_time.count();
   h.event_count = buf.size();
 
   os.write(kTraceMagic, sizeof(kTraceMagic));

@@ -1,0 +1,31 @@
+// Project contract annotations, consumed by tools/lint/dasched_lint.py.
+//
+// The repo's verification story rests on three contracts that the dynamic
+// test suites (operator-new interposition, differential runs, the invariant
+// auditor) can only probe for the workloads they happen to run.  The macros
+// below mark the code that carries each contract so the static analyzer can
+// enforce it over every TU:
+//
+//  * DASCHED_HOT — steady-state hot path: no heap allocation may be
+//    reachable from this function within its TU.  Pool/slab warm-up growth
+//    is the sanctioned exception and is suppressed at the growth site with
+//    a `// dasched-lint: allow(hot-alloc): ...` comment.
+//  * DASCHED_OBSERVER_PASSIVE — marks an observer implementation class:
+//    its callbacks may only make const calls into simulation state (the
+//    lint additionally discovers observers structurally, by inheritance
+//    from the *Observer hook interfaces).
+//
+// Under Clang the macros also expand to [[clang::annotate]] so an
+// AST-matcher front-end can find them without re-scanning source text;
+// under GCC (the CI toolchain) they compile to nothing and the linter
+// locates them textually.  Either way they impose zero runtime cost and
+// cannot change generated code.
+#pragma once
+
+#if defined(__clang__)
+#define DASCHED_HOT [[clang::annotate("dasched::hot")]]
+#define DASCHED_OBSERVER_PASSIVE [[clang::annotate("dasched::passive")]]
+#else
+#define DASCHED_HOT
+#define DASCHED_OBSERVER_PASSIVE
+#endif

@@ -1,47 +1,272 @@
-// Time and size units used throughout the simulator.
+// Dimensioned arithmetic types used throughout the simulator.
 //
-// Simulated time is an integer count of microseconds (`SimTime`).  An
-// integral time base keeps event ordering exact and reproducible; helpers
-// below convert to and from the floating-point units used in reports.
+// Simulated time is an integer count of microseconds (`SimTime`), sizes are
+// integer byte counts (`Bytes`), and energy accounting runs on `Joules` and
+// `Watts` wrapping the same `double` representation the ledgers always used.
+// Each is a strong wrapper exposing only dimensionally valid operators:
+//
+//     SimTime ± SimTime → SimTime        Bytes ± Bytes → Bytes
+//     SimTime / SimTime → int64 ratio    Bytes / Bytes → int64 ratio
+//     Watts × SimTime   → Joules         Joules / SimTime → Watts
+//     Joules / Watts    → double seconds
+//
+// Cross-unit expressions (seconds-for-joules, bytes-for-usec, assigning one
+// unit to another) no longer compile; see tests/util/units_compile_fail.
+// Raw integer literals still convert implicitly into `SimTime`/`Bytes` so
+// counts and zeros read naturally, but no unit ever converts silently back
+// out — escape hatches are the explicit `count()`/`value()` accessors and
+// `static_cast<double>`.
+//
+// Bit-identity: every operator inlines to exactly the scalar expression the
+// pre-wrapper code wrote (same representation, same float-op order), so all
+// serialized artifacts stay bit-identical (tools/hexfloat_probe proves it).
+// The wrappers are trivially copyable with trivial default constructors —
+// like the raw scalars they replace, so POD records (`TraceEvent`, the event
+// queue) keep their layout and triviality.
 #pragma once
 
 #include <cstdint>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <type_traits>
 
 namespace dasched {
 
 /// Simulated time in microseconds since simulation start.
-using SimTime = std::int64_t;
+class SimTime {
+ public:
+  SimTime() = default;  // uninitialized, like the raw int64 it replaces
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  constexpr SimTime(T v) : v_(static_cast<std::int64_t>(v)) {}  // NOLINT(google-explicit-constructor)
+  explicit constexpr SimTime(double v) : v_(static_cast<std::int64_t>(v)) {}
 
-inline constexpr SimTime kUsecPerMsec = 1'000;
-inline constexpr SimTime kUsecPerSec = 1'000'000;
+  [[nodiscard]] constexpr std::int64_t count() const { return v_; }
+  explicit constexpr operator double() const { return static_cast<double>(v_); }
 
-[[nodiscard]] constexpr SimTime usec(std::int64_t v) { return v; }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+  [[nodiscard]] static constexpr SimTime min() {
+    return SimTime{std::numeric_limits<std::int64_t>::min()};
+  }
+
+  friend constexpr bool operator==(SimTime, SimTime) = default;
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  constexpr SimTime& operator+=(SimTime o) { v_ += o.v_; return *this; }
+  constexpr SimTime& operator-=(SimTime o) { v_ -= o.v_; return *this; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime{a.v_ + b.v_}; }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime{a.v_ - b.v_}; }
+  friend constexpr SimTime operator-(SimTime a) { return SimTime{-a.v_}; }
+
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  friend constexpr SimTime operator*(SimTime a, T k) { return SimTime{a.v_ * k}; }
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  friend constexpr SimTime operator*(T k, SimTime a) { return SimTime{k * a.v_}; }
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  friend constexpr SimTime operator/(SimTime a, T k) { return SimTime{a.v_ / k}; }
+  /// Dimensionless ratio of two durations.
+  friend constexpr std::int64_t operator/(SimTime a, SimTime b) { return a.v_ / b.v_; }
+  friend constexpr SimTime operator%(SimTime a, SimTime b) { return SimTime{a.v_ % b.v_}; }
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) { return os << t.v_; }
+  friend std::istream& operator>>(std::istream& is, SimTime& t) { return is >> t.v_; }
+
+ private:
+  std::int64_t v_;
+};
+
+static_assert(std::is_trivially_copyable_v<SimTime> && sizeof(SimTime) == 8);
+
+inline constexpr std::int64_t kUsecPerMsec = 1'000;
+inline constexpr std::int64_t kUsecPerSec = 1'000'000;
+
+[[nodiscard]] constexpr SimTime usec(std::int64_t v) { return SimTime{v}; }
 [[nodiscard]] constexpr SimTime msec(double v) {
-  return static_cast<SimTime>(v * static_cast<double>(kUsecPerMsec));
+  return SimTime{static_cast<std::int64_t>(v * static_cast<double>(kUsecPerMsec))};
 }
 [[nodiscard]] constexpr SimTime sec(double v) {
-  return static_cast<SimTime>(v * static_cast<double>(kUsecPerSec));
+  return SimTime{static_cast<std::int64_t>(v * static_cast<double>(kUsecPerSec))};
 }
 
 [[nodiscard]] constexpr double to_msec(SimTime t) {
-  return static_cast<double>(t) / static_cast<double>(kUsecPerMsec);
+  return static_cast<double>(t.count()) / static_cast<double>(kUsecPerMsec);
 }
 [[nodiscard]] constexpr double to_sec(SimTime t) {
-  return static_cast<double>(t) / static_cast<double>(kUsecPerSec);
+  return static_cast<double>(t.count()) / static_cast<double>(kUsecPerSec);
 }
 [[nodiscard]] constexpr double to_minutes(SimTime t) {
   return to_sec(t) / 60.0;
 }
 
-/// Sizes are plain byte counts.
-using Bytes = std::int64_t;
+/// Size or on-disk position as a byte count.
+class Bytes {
+ public:
+  Bytes() = default;  // uninitialized, like the raw int64 it replaces
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  constexpr Bytes(T v) : v_(static_cast<std::int64_t>(v)) {}  // NOLINT(google-explicit-constructor)
+  explicit constexpr Bytes(double v) : v_(static_cast<std::int64_t>(v)) {}
 
-inline constexpr Bytes kKiB = 1'024;
-inline constexpr Bytes kMiB = 1'024 * kKiB;
-inline constexpr Bytes kGiB = 1'024 * kMiB;
+  [[nodiscard]] constexpr std::int64_t count() const { return v_; }
+  explicit constexpr operator double() const { return static_cast<double>(v_); }
 
-[[nodiscard]] constexpr Bytes kib(std::int64_t v) { return v * kKiB; }
-[[nodiscard]] constexpr Bytes mib(std::int64_t v) { return v * kMiB; }
-[[nodiscard]] constexpr Bytes gib(std::int64_t v) { return v * kGiB; }
+  [[nodiscard]] static constexpr Bytes max() {
+    return Bytes{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  friend constexpr bool operator==(Bytes, Bytes) = default;
+  friend constexpr auto operator<=>(Bytes, Bytes) = default;
+
+  constexpr Bytes& operator+=(Bytes o) { v_ += o.v_; return *this; }
+  constexpr Bytes& operator-=(Bytes o) { v_ -= o.v_; return *this; }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) { return Bytes{a.v_ + b.v_}; }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) { return Bytes{a.v_ - b.v_}; }
+  friend constexpr Bytes operator-(Bytes a) { return Bytes{-a.v_}; }
+
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  friend constexpr Bytes operator*(Bytes a, T k) { return Bytes{a.v_ * k}; }
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  friend constexpr Bytes operator*(T k, Bytes a) { return Bytes{k * a.v_}; }
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  friend constexpr Bytes operator/(Bytes a, T k) { return Bytes{a.v_ / k}; }
+  /// Dimensionless ratio (e.g. a stripe or block index).
+  friend constexpr std::int64_t operator/(Bytes a, Bytes b) { return a.v_ / b.v_; }
+  friend constexpr Bytes operator%(Bytes a, Bytes b) { return Bytes{a.v_ % b.v_}; }
+
+  friend std::ostream& operator<<(std::ostream& os, Bytes b) { return os << b.v_; }
+  friend std::istream& operator>>(std::istream& is, Bytes& b) { return is >> b.v_; }
+
+ private:
+  std::int64_t v_;
+};
+
+static_assert(std::is_trivially_copyable_v<Bytes> && sizeof(Bytes) == 8);
+
+inline constexpr std::int64_t kKiB = 1'024;
+inline constexpr std::int64_t kMiB = 1'024 * kKiB;
+inline constexpr std::int64_t kGiB = 1'024 * kMiB;
+
+[[nodiscard]] constexpr Bytes kib(std::int64_t v) { return Bytes{v * kKiB}; }
+[[nodiscard]] constexpr Bytes mib(std::int64_t v) { return Bytes{v * kMiB}; }
+[[nodiscard]] constexpr Bytes gib(std::int64_t v) { return Bytes{v * kGiB}; }
+
+class Watts;
+
+/// Energy, wrapping the `double` joule representation of the ledgers.
+class Joules {
+ public:
+  Joules() = default;  // uninitialized; `Joules{}` value-initializes to 0
+  explicit constexpr Joules(double v) : v_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  friend constexpr bool operator==(Joules, Joules) = default;
+  friend constexpr auto operator<=>(Joules, Joules) = default;
+
+  constexpr Joules& operator+=(Joules o) { v_ += o.v_; return *this; }
+  constexpr Joules& operator-=(Joules o) { v_ -= o.v_; return *this; }
+
+  friend constexpr Joules operator+(Joules a, Joules b) { return Joules{a.v_ + b.v_}; }
+  friend constexpr Joules operator-(Joules a, Joules b) { return Joules{a.v_ - b.v_}; }
+  friend constexpr Joules operator-(Joules a) { return Joules{-a.v_}; }
+  friend constexpr Joules operator*(Joules a, double k) { return Joules{a.v_ * k}; }
+  friend constexpr Joules operator*(double k, Joules a) { return Joules{k * a.v_}; }
+  friend constexpr Joules operator/(Joules a, double k) { return Joules{a.v_ / k}; }
+  /// Dimensionless ratio (normalized energy).
+  friend constexpr double operator/(Joules a, Joules b) { return a.v_ / b.v_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Joules j) { return os << j.v_; }
+
+ private:
+  double v_;
+};
+
+static_assert(std::is_trivially_copyable_v<Joules> && sizeof(Joules) == 8);
+
+/// Power, wrapping the `double` watt representation of the power model.
+class Watts {
+ public:
+  Watts() = default;  // uninitialized; `Watts{}` value-initializes to 0
+  explicit constexpr Watts(double v) : v_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  friend constexpr bool operator==(Watts, Watts) = default;
+  friend constexpr auto operator<=>(Watts, Watts) = default;
+
+  constexpr Watts& operator+=(Watts o) { v_ += o.v_; return *this; }
+  constexpr Watts& operator-=(Watts o) { v_ -= o.v_; return *this; }
+
+  friend constexpr Watts operator+(Watts a, Watts b) { return Watts{a.v_ + b.v_}; }
+  friend constexpr Watts operator-(Watts a, Watts b) { return Watts{a.v_ - b.v_}; }
+  friend constexpr Watts operator*(Watts a, double k) { return Watts{a.v_ * k}; }
+  friend constexpr Watts operator*(double k, Watts a) { return Watts{k * a.v_}; }
+  friend constexpr Watts operator/(Watts a, double k) { return Watts{a.v_ / k}; }
+  /// Dimensionless ratio of two powers.
+  friend constexpr double operator/(Watts a, Watts b) { return a.v_ / b.v_; }
+
+  /// Energy of drawing this power for `t`.  Expands to exactly
+  /// `w * to_sec(t)` — the expression the ledger always computed.
+  friend constexpr Joules operator*(Watts w, SimTime t) {
+    return Joules{w.v_ * to_sec(t)};
+  }
+  friend constexpr Joules operator*(SimTime t, Watts w) {
+    return Joules{w.v_ * to_sec(t)};
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Watts w) { return os << w.v_; }
+
+ private:
+  double v_;
+};
+
+static_assert(std::is_trivially_copyable_v<Watts> && sizeof(Watts) == 8);
+
+/// Mean power over an interval.
+[[nodiscard]] constexpr Watts operator/(Joules j, SimTime t) {
+  return Watts{j.value() / to_sec(t)};
+}
+/// Seconds this energy lasts at the given draw (break-even arithmetic).
+[[nodiscard]] constexpr double operator/(Joules j, Watts w) {
+  return j.value() / w.value();
+}
 
 }  // namespace dasched
+
+// `SimTime` and `Bytes` stand in for raw int64 counters, which the code base
+// occasionally bounds with numeric_limits (e.g. Simulator::run's default
+// horizon); specializing keeps those call sites natural.
+template <>
+struct std::numeric_limits<dasched::SimTime> {
+  static constexpr bool is_specialized = true;
+  static constexpr dasched::SimTime max() { return dasched::SimTime::max(); }
+  static constexpr dasched::SimTime min() { return dasched::SimTime::min(); }
+  static constexpr dasched::SimTime lowest() { return dasched::SimTime::min(); }
+};
+template <>
+struct std::numeric_limits<dasched::Bytes> {
+  static constexpr bool is_specialized = true;
+  static constexpr dasched::Bytes max() { return dasched::Bytes::max(); }
+  static constexpr dasched::Bytes min() {
+    return dasched::Bytes{std::numeric_limits<std::int64_t>::min()};
+  }
+  static constexpr dasched::Bytes lowest() { return min(); }
+};
+
+// Identity hashing on the raw count, exactly as the int64 they replace —
+// for containers keyed on a time or a byte offset.
+template <>
+struct std::hash<dasched::SimTime> {
+  std::size_t operator()(dasched::SimTime t) const noexcept {
+    return std::hash<std::int64_t>{}(t.count());
+  }
+};
+template <>
+struct std::hash<dasched::Bytes> {
+  std::size_t operator()(dasched::Bytes b) const noexcept {
+    return std::hash<std::int64_t>{}(b.count());
+  }
+};

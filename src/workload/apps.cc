@@ -18,7 +18,7 @@ AE v(const char* name) { return AE::var(name); }
 /// A compute-only phase of `usec` microseconds occupying one slot — the
 /// inter-phase idle gaps that give power policies something to exploit.
 Stmt phase(SimTime usec) {
-  return make_loop("_ph", 0, 0, {make_compute(AE(usec))}, /*slot_loop=*/true);
+  return make_loop("_ph", 0, 0, {make_compute(AE(usec.count()))}, /*slot_loop=*/true);
 }
 
 /// An I/O step at the paper's iteration granularity: the I/O call (plus a
@@ -31,7 +31,7 @@ Stmt step(StmtList body, SimTime pad_usec = 0, int pads = 3) {
   outer.push_back(make_loop("_s", 0, 0, std::move(body), /*slot_loop=*/true));
   if (pads > 0 && pad_usec > 0) {
     outer.push_back(make_loop("_pad", 0, pads - 1,
-                              {make_compute(AE(pad_usec))},
+                              {make_compute(AE(pad_usec.count()))},
                               /*slot_loop=*/true));
   }
   return make_loop("_g", 0, 0, std::move(outer), /*slot_loop=*/false);
@@ -48,8 +48,8 @@ CompiledProgram build_hf(StripingMap& striping, const WorkloadScale& s) {
   const std::int64_t B = s.scaled(300);
   const std::int64_t iters_per_stage = s.scaled(2);
   const std::int64_t P = s.num_processes;
-  const Bytes rk = kib(128);  // integral block
-  const Bytes dk = kib(128);  // density block
+  const std::int64_t rk = kib(128).count();  // integral block
+  const std::int64_t dk = kib(128).count();  // density block
 
   const FileId f_int = striping.create_file("hf.integrals", P * B * rk);
   const FileId f_intT = striping.create_file("hf.integrals_T", P * B * rk);
@@ -109,9 +109,9 @@ CompiledProgram build_sar(StripingMap& striping, const WorkloadScale& s) {
   const std::int64_t S = 80;  // swaths per frame
   const std::int64_t W = 10;  // image-write slots per frame
   const std::int64_t P = s.num_processes;
-  const Bytes swath = kib(256);
-  const Bytes cal = kib(64);
-  const Bytes img = kib(256);
+  const std::int64_t swath = kib(256).count();
+  const std::int64_t cal = kib(64).count();
+  const std::int64_t img = kib(256).count();
 
   const FileId f_raw = striping.create_file("sar.raw", P * F * S * swath);
   const FileId f_cal = striping.create_file("sar.cal", P * cal);
@@ -171,9 +171,9 @@ CompiledProgram build_astro(StripingMap& striping, const WorkloadScale& s) {
   const std::int64_t E = s.scaled(32);
   const std::int64_t T = 100;  // samples per epoch
   const std::int64_t P = s.num_processes;
-  const Bytes samp = kib(128);
-  const Bytes hdr = kib(64);
-  const Bytes out = kib(64);
+  const std::int64_t samp = kib(128).count();
+  const std::int64_t hdr = kib(64).count();
+  const std::int64_t out = kib(64).count();
 
   const FileId f_ts = striping.create_file("astro.timeseries", E * T * P * samp);
   const FileId f_hdr = striping.create_file("astro.catalog", P * hdr);
@@ -227,8 +227,8 @@ CompiledProgram build_apsi(StripingMap& striping, const WorkloadScale& s) {
   const std::int64_t T = s.scaled(18);
   const std::int64_t K = 80;  // planes
   const std::int64_t P = s.num_processes;
-  const Bytes plane = kib(192);
-  const Bytes flux = kib(64);
+  const std::int64_t plane = kib(192).count();
+  const std::int64_t flux = kib(64).count();
 
   const FileId f_grid = striping.create_file("apsi.grid", K * P * plane);
   const FileId f_flux = striping.create_file("apsi.forcing", T * K * flux);
@@ -291,7 +291,7 @@ CompiledProgram build_madbench2(StripingMap& striping, const WorkloadScale& s) {
 
   const Bytes per_proc = G * Wslots * 2 * chunk;
   const FileId f_mat = striping.create_file("madbench2.matrices",
-                                            static_cast<Bytes>(P) * per_proc);
+                                            P * per_proc);
 
   TraceBuilder tb(P);
   Rng rng(0x6d616462ULL);
@@ -304,7 +304,7 @@ CompiledProgram build_madbench2(StripingMap& striping, const WorkloadScale& s) {
     for (std::int64_t j = 0; j < Wslots; ++j) {
       for (int p = 0; p < P; ++p) {
         for (int c = 0; c < 2; ++c) {
-          const Bytes off = static_cast<Bytes>(p) * per_proc +
+          const Bytes off = p * per_proc +
                             ((g * Wslots + j) * 2 + c) * chunk;
           tb.write(p, f_mat, off, chunk);
         }
@@ -320,7 +320,7 @@ CompiledProgram build_madbench2(StripingMap& striping, const WorkloadScale& s) {
     }
     for (std::int64_t j = 0; j < Cslots; ++j) {
       for (int p = 0; p < P; ++p) {
-        const Bytes off = static_cast<Bytes>(p) * per_proc +
+        const Bytes off = p * per_proc +
                           (g * Wslots * 2 + j) * chunk;
         tb.read(p, f_mat, off, chunk);
         tb.compute(p, 9'000 + static_cast<SimTime>(rng.next_below(8'000)));
@@ -341,8 +341,8 @@ CompiledProgram build_wupwise(StripingMap& striping, const WorkloadScale& s) {
   const std::int64_t I = s.scaled(12);
   const std::int64_t C = 320;  // lattice chunks per sweep
   const std::int64_t P = s.num_processes;
-  const Bytes gk = kib(256);
-  const Bytes sk = kib(128);
+  const std::int64_t gk = kib(256).count();
+  const std::int64_t sk = kib(128).count();
 
   const FileId f_gauge = striping.create_file("wupwise.gauge", C * P * gk);
   const FileId f_spin = striping.create_file("wupwise.spinor", P * C * sk);

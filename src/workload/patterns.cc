@@ -9,12 +9,12 @@ AE pvar() { return AE::var(kProcessVar); }
 }  // namespace
 
 Stmt io_step(Stmt call, const StepShape& shape) {
-  StmtList slot{std::move(call), make_compute(AE(shape.io_compute))};
+  StmtList slot{std::move(call), make_compute(AE(shape.io_compute.count()))};
   StmtList outer;
   outer.push_back(make_loop("_s", 0, 0, std::move(slot), /*slot_loop=*/true));
   if (shape.pads > 0 && shape.pad_compute > 0) {
     outer.push_back(make_loop("_pad", 0, AE(shape.pads - 1),
-                              {make_compute(AE(shape.pad_compute))},
+                              {make_compute(AE(shape.pad_compute.count()))},
                               /*slot_loop=*/true));
   }
   return make_loop("_g", 0, 0, std::move(outer), /*slot_loop=*/false);
@@ -23,9 +23,9 @@ Stmt io_step(Stmt call, const StepShape& shape) {
 Stmt sequential_scan(FileId file, std::int64_t count, Bytes block,
                      const StepShape& shape, const std::string& var) {
   const AE i = AE::var(var);
-  const AE offset = pvar() * (count * block) + i * block;
+  const AE offset = pvar() * (count * block.count()) + i * block.count();
   return make_loop(var, 0, AE(count - 1),
-                   {io_step(make_read(file, offset, block), shape)},
+                   {io_step(make_read(file, offset, block.count()), shape)},
                    /*slot_loop=*/false);
 }
 
@@ -33,38 +33,38 @@ Stmt interleaved_scan(FileId file, std::int64_t count, Bytes block,
                       Bytes stride, const StepShape& shape,
                       const std::string& var) {
   const AE i = AE::var(var);
-  const AE offset = i * stride + pvar() * block;
+  const AE offset = i * stride.count() + pvar() * block.count();
   return make_loop(var, 0, AE(count - 1),
-                   {io_step(make_read(file, offset, block), shape)},
+                   {io_step(make_read(file, offset, block.count()), shape)},
                    /*slot_loop=*/false);
 }
 
 Stmt hot_block_reread(FileId file, std::int64_t count, Bytes block,
                       const StepShape& shape, const std::string& var) {
-  const AE offset = pvar() * block;
+  const AE offset = pvar() * block.count();
   return make_loop(var, 0, AE(count - 1),
-                   {io_step(make_read(file, offset, block), shape)},
+                   {io_step(make_read(file, offset, block.count()), shape)},
                    /*slot_loop=*/false);
 }
 
 Stmt update_sweep(FileId file, std::int64_t count, Bytes block,
                   const StepShape& shape, const std::string& var) {
   const AE i = AE::var(var);
-  const AE offset = pvar() * (count * block) + i * block;
+  const AE offset = pvar() * (count * block.count()) + i * block.count();
   // Read and write sit in separate slots: a same-slot write would clamp the
   // read's slack to length 1 (the conservative race rule, see slack.h).
   StmtList outer;
   outer.push_back(make_loop("_r", 0, 0,
-                            {make_read(file, offset, block),
-                             make_compute(AE(shape.io_compute))},
+                            {make_read(file, offset, block.count()),
+                             make_compute(AE(shape.io_compute.count()))},
                             /*slot_loop=*/true));
   outer.push_back(make_loop("_w", 0, 0,
-                            {make_compute(AE(shape.pad_compute)),
-                             make_write(file, offset, block)},
+                            {make_compute(AE(shape.pad_compute.count())),
+                             make_write(file, offset, block.count())},
                             /*slot_loop=*/true));
   if (shape.pads > 0 && shape.pad_compute > 0) {
     outer.push_back(make_loop("_pad", 0, AE(shape.pads - 1),
-                              {make_compute(AE(shape.pad_compute))},
+                              {make_compute(AE(shape.pad_compute.count()))},
                               /*slot_loop=*/true));
   }
   return make_loop(var, 0, AE(count - 1),
@@ -75,14 +75,14 @@ Stmt update_sweep(FileId file, std::int64_t count, Bytes block,
 Stmt producer_stream(FileId file, std::int64_t count, Bytes block,
                      const StepShape& shape, const std::string& var) {
   const AE i = AE::var(var);
-  const AE offset = pvar() * (count * block) + i * block;
+  const AE offset = pvar() * (count * block.count()) + i * block.count();
   return make_loop(var, 0, AE(count - 1),
-                   {io_step(make_write(file, offset, block), shape)},
+                   {io_step(make_write(file, offset, block.count()), shape)},
                    /*slot_loop=*/false);
 }
 
 Stmt compute_phase(SimTime duration) {
-  return make_loop("_ph", 0, 0, {make_compute(AE(duration))},
+  return make_loop("_ph", 0, 0, {make_compute(AE(duration.count()))},
                    /*slot_loop=*/true);
 }
 

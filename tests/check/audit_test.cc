@@ -100,7 +100,7 @@ TEST(EnergyConservationCheck, MisBookedEnergyTrips) {
   Disk disk(sim, DiskParams{});
   // Claim a second of idle time cost nothing — the power model disagrees.
   check.on_energy_accrued(disk, DiskState::kIdle, disk.params().max_rpm,
-                          sec(1.0), /*joules=*/0.0);
+                          sec(1.0), /*joules=*/Joules{0.0});
   EXPECT_TRUE(has_violation(auditor, "energy-conservation", "power model"));
 }
 
@@ -326,7 +326,7 @@ TEST(StorageAccountingCheck, CleanOnRealStorageSystem) {
   const FileId f = storage.create_file("data", mib(8));
   int done = 0;
   for (int i = 0; i < 16; ++i) {
-    storage.read(f, static_cast<Bytes>(i) * kib(96), kib(96), [&] { ++done; });
+    storage.read(f, (i) * kib(96), kib(96), [&] { ++done; });
   }
   storage.write(f, 0, kib(256), [&] { ++done; });
   sim.run();

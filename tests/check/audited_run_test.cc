@@ -28,7 +28,7 @@ TEST_P(AuditedRun, RunsCleanUnderTheFullCatalog) {
   EXPECT_EQ(r.audit_violations, 0) << auditor.report();
   EXPECT_TRUE(auditor.clean()) << auditor.report();
   EXPECT_GT(auditor.evaluations(), 0);
-  EXPECT_GT(r.energy_j, 0.0);
+  EXPECT_GT(r.energy_j.value(), 0.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -11,8 +11,8 @@ using AE = AffineExpr;
 
 class CompileTest : public ::testing::Test {
  protected:
-  CompileTest() : striping_(4, kib(64)) {
-    file_ = striping_.create_file("f", mib(64));
+  CompileTest() : striping_(4, kib(64).count()) {
+    file_ = striping_.create_file("f", mib(64).count());
   }
 
   /// Two processes, each: 20 iterations x (read 64K at a process-private
@@ -24,8 +24,8 @@ class CompileTest : public ::testing::Test {
         {
             make_loop("_io", 0, 0,
                       {make_read(file_,
-                                 AE::var("p") * mib(8) + AE::var("i") * kib(64),
-                                 kib(64)),
+                                 AE::var("p") * mib(8).count() + AE::var("i") * kib(64).count(),
+                                 kib(64).count()),
                        make_compute(AE(1'000))},
                       /*slot_loop=*/true),
             make_loop("_pad", 0, 1, {make_compute(AE(500))},
@@ -72,13 +72,13 @@ TEST_F(CompileTest, ScheduledSlotsStayInsideSlacks) {
 
 TEST_F(CompileTest, TraceFrontEndMatchesPipeline) {
   TraceBuilder tb(1);
-  tb.write(0, file_, 0, kib(64));
+  tb.write(0, file_, 0, kib(64).count());
   tb.end_slot(0);
   for (int i = 0; i < 5; ++i) {
     tb.compute(0, 100);
     tb.end_slot(0);
   }
-  tb.read(0, file_, 0, kib(64));
+  tb.read(0, file_, 0, kib(64).count());
   tb.end_slot(0);
   const Compiled c = compile_trace(tb.build(), striping_);
   ASSERT_EQ(c.program.reads.size(), 1u);
@@ -111,8 +111,8 @@ TEST_F(CompileTest, AffinePathReportsDependenceScreen) {
   LoopProgram rw;
   rw.body.push_back(make_loop(
       "i", 0, AE(9),
-      {make_write(file_, AE::var("i") * kib(64), kib(64)),
-       make_read(file_, AE(mib(32)) + AE::var("i") * kib(64), kib(64))}));
+      {make_write(file_, AE::var("i") * kib(64).count(), kib(64).count()),
+       make_read(file_, AE(mib(32).count()) + AE::var("i") * kib(64).count(), kib(64).count())}));
   const Compiled c2 = compile(rw, 2, striping_);
   EXPECT_GT(c2.dependence.pairs, 0);
   // Writes in [0, 640K), reads in [32M, 32M+640K): provably independent.
@@ -121,7 +121,7 @@ TEST_F(CompileTest, AffinePathReportsDependenceScreen) {
 
 TEST_F(CompileTest, TracePathLeavesDependenceSummaryEmpty) {
   TraceBuilder tb(1);
-  tb.read(0, file_, 0, kib(64));
+  tb.read(0, file_, 0, kib(64).count());
   tb.end_slot(0);
   const Compiled c = compile_trace(tb.build(), striping_);
   EXPECT_EQ(c.dependence.pairs, 0);
@@ -130,7 +130,7 @@ TEST_F(CompileTest, TracePathLeavesDependenceSummaryEmpty) {
 TEST_F(CompileTest, WriteOnlyProgramHasNoTableEntries) {
   LoopProgram prog;
   prog.body.push_back(make_loop(
-      "i", 0, AE(9), {make_write(file_, AE::var("i") * kib(64), kib(64))}));
+      "i", 0, AE(9), {make_write(file_, AE::var("i") * kib(64).count(), kib(64).count())}));
   const Compiled c = compile(prog, 1, striping_);
   EXPECT_EQ(c.program.reads.size(), 0u);
 }

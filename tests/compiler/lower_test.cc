@@ -12,7 +12,7 @@ using AE = AffineExpr;
 TEST(Lower, SimpleSlotLoopProducesOneSlotPerIteration) {
   LoopProgram prog;
   prog.body.push_back(make_loop("i", 0, AE(9),
-                                {make_read(0, AE::var("i") * kib(64), kib(64)),
+                                {make_read(0, AE::var("i") * kib(64).count(), kib(64).count()),
                                  make_compute(AE(1'000))}));
   const CompiledProgram cp = lower(prog, 1);
   ASSERT_EQ(cp.num_processes(), 1);
@@ -102,7 +102,7 @@ TEST(Lower, EmptySlotIterationsAreDropped) {
 TEST(Lower, TrailingStatementsFormFinalSlot) {
   LoopProgram prog;
   prog.body.push_back(make_loop("i", 0, AE(1), {make_compute(AE(1))}));
-  prog.body.push_back(make_write(0, 0, kib(64)));
+  prog.body.push_back(make_write(0, 0, kib(64).count()));
   const CompiledProgram cp = lower(prog, 1);
   EXPECT_EQ(cp.num_slots, 3);
   EXPECT_TRUE(cp.processes[0].slots[2].ops[0].is_write);
@@ -149,12 +149,12 @@ TEST(Coarsen, GranularityOneIsIdentity) {
 TEST(Lower, TotalsHelpers) {
   LoopProgram prog;
   prog.body.push_back(make_loop("i", 0, AE(4),
-                                {make_read(0, 0, kib(64)),
-                                 make_write(1, 0, kib(32))}));
+                                {make_read(0, 0, kib(64).count()),
+                                 make_write(1, 0, kib(32).count())}));
   const CompiledProgram cp = lower(prog, 2);
   EXPECT_EQ(cp.total_ops(), 20);
-  EXPECT_EQ(cp.total_bytes(/*writes=*/false), 2 * 5 * kib(64));
-  EXPECT_EQ(cp.total_bytes(/*writes=*/true), 2 * 5 * kib(32));
+  EXPECT_EQ(cp.total_bytes(/*writes=*/false), 2 * 5 * kib(64).count());
+  EXPECT_EQ(cp.total_bytes(/*writes=*/true), 2 * 5 * kib(32).count());
 }
 
 }  // namespace

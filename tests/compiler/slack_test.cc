@@ -75,10 +75,10 @@ TEST(LastWriteMap, ModelBasedRandomConsistency) {
     if (rng.next_bool(0.5)) {
       const LastWriteMap::Writer w{step, static_cast<int>(rng.next_below(4))};
       m.record_write(0, off, size, w.slot, w.process);
-      for (Bytes b = off; b < off + size; ++b) model[b] = w;
+      for (Bytes b = off; b < off + size; b += 1) model[b] = w;
     } else {
       std::optional<LastWriteMap::Writer> expect;
-      for (Bytes b = off; b < off + size; ++b) {
+      for (Bytes b = off; b < off + size; b += 1) {
         const auto it = model.find(b);
         if (it != model.end() &&
             (!expect.has_value() || it->second.slot > expect->slot)) {

@@ -9,11 +9,11 @@ TEST(DiskParams, PaperDefaultsMatchTableII) {
   const DiskParams p = DiskParams::paper_defaults();
   EXPECT_EQ(p.capacity, gib(100));
   EXPECT_EQ(p.max_rpm, 12'000);
-  EXPECT_DOUBLE_EQ(p.idle_power_w, 17.1);
-  EXPECT_DOUBLE_EQ(p.active_power_w, 36.6);
-  EXPECT_DOUBLE_EQ(p.seek_power_w, 32.1);
-  EXPECT_DOUBLE_EQ(p.standby_power_w, 7.2);
-  EXPECT_DOUBLE_EQ(p.spin_up_power_w, 44.8);
+  EXPECT_DOUBLE_EQ(p.idle_power_w.value(), 17.1);
+  EXPECT_DOUBLE_EQ(p.active_power_w.value(), 36.6);
+  EXPECT_DOUBLE_EQ(p.seek_power_w.value(), 32.1);
+  EXPECT_DOUBLE_EQ(p.standby_power_w.value(), 7.2);
+  EXPECT_DOUBLE_EQ(p.spin_up_power_w.value(), 44.8);
   EXPECT_EQ(p.spin_up_time, sec(16.0));
   EXPECT_EQ(p.spin_down_time, sec(10.0));
   EXPECT_FALSE(p.multi_speed);

@@ -39,7 +39,7 @@ TEST(Disk, AccountsEnergyWhileIdle) {
   sim.run();
   const DiskStats& s = disk.finalize();
   // 10 s at 17.1 W idle.
-  EXPECT_NEAR(s.energy_j, 171.0, 0.5);
+  EXPECT_NEAR(s.energy_j.value(), 171.0, 0.5);
 }
 
 TEST(Disk, ElevatorServesInScanOrder) {
@@ -69,7 +69,7 @@ TEST(Disk, SpinDownReachesStandbyAndSavesPower) {
   const DiskStats& s = disk.finalize();
   EXPECT_EQ(s.spin_downs, 1);
   // Energy must be far below 100 s of pure idle.
-  EXPECT_LT(s.energy_j, 100.0 * 17.1 * 0.8);
+  EXPECT_LT(s.energy_j.value(), 100.0 * 17.1 * 0.8);
   EXPECT_GT(s.time_in_standby, sec(80.0));
 }
 
@@ -101,8 +101,8 @@ TEST(Disk, RequestDuringSpinDownAbortsWithPartialRecovery) {
   });
   sim.run();
   EXPECT_EQ(disk.stats().spin_ups, 1);
-  EXPECT_GE(completion, sec(3.0) + sec(16.0) * 0.19);
-  EXPECT_LE(completion, sec(3.0) + sec(16.0) * 0.25);
+  EXPECT_GE(completion, sec(3.0) + sec(16.0 * 0.19));
+  EXPECT_LE(completion, sec(3.0) + sec(16.0 * 0.25));
 }
 
 TEST(Disk, ProactiveSpinUpDuringSpinDownChainsCorrectly) {
@@ -232,10 +232,10 @@ TEST(Disk, EnergyByStateSumsToTotal) {
   sim.run();
   const DiskStats& s = disk.finalize();
   double sum = 0.0;
-  for (double e : s.energy_by_state_j) sum += e;
-  EXPECT_NEAR(sum, s.energy_j, 1e-6);
-  EXPECT_GT(s.energy_by_state_j[static_cast<int>(DiskState::kStandby)], 0.0);
-  EXPECT_GT(s.energy_by_state_j[static_cast<int>(DiskState::kSpinningUp)], 0.0);
+  for (Joules e : s.energy_by_state_j) sum += e.value();
+  EXPECT_NEAR(sum, s.energy_j.value(), 1e-6);
+  EXPECT_GT(s.energy_by_state_j[static_cast<int>(DiskState::kStandby)].value(), 0.0);
+  EXPECT_GT(s.energy_by_state_j[static_cast<int>(DiskState::kSpinningUp)].value(), 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,63 @@
+// Bit-identity regression pins: exact hexfloat values of two test-scale
+// cells, compared via bit_cast so even a one-ulp drift fails.
+//
+// The strong unit types (util/units.h) promise that every operator inlines
+// to exactly the scalar expression the pre-wrapper code wrote — same
+// representation, same floating-point operation order.  These pins are the
+// executable form of that promise: any "harmless" reassociation in the
+// energy ledger, the cache-hit accounting, or the scheduler's advance
+// bookkeeping shows up as a failed bit comparison, not a silent drift
+// inside some tolerance.
+//
+// The values were captured with tools/hexfloat_probe-style runs at seed 1.
+// They are deterministic: the simulation does pure +,-,*,/ arithmetic
+// under SSE2 doubles with no -ffast-math, so any conforming x86-64 build
+// reproduces them exactly.  If a deliberate algorithm change moves them,
+// re-capture with the printf("%a") recipe below and update the constants
+// in the same commit that explains the change.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "driver/experiment.h"
+
+namespace dasched {
+namespace {
+
+ExperimentResult run_cell(const char* app, bool scheme) {
+  ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.scale.num_processes = 4;
+  cfg.scale.factor = 0.1;
+  cfg.policy = PolicyKind::kHistory;
+  cfg.use_scheme = scheme;
+  return run_experiment(cfg);
+}
+
+void expect_bits(double actual, double golden, const char* what) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(actual),
+            std::bit_cast<std::uint64_t>(golden))
+      << what << ": got " << std::hexfloat << actual << ", pinned "
+      << golden << std::defaultfloat;
+}
+
+TEST(BitIdentity, SarHistoryWithScheme) {
+  const ExperimentResult r = run_cell("sar", true);
+  EXPECT_EQ(r.exec_time.count(), 433'143'601);
+  expect_bits(r.energy_j.value(), 0x1.7915d5e8b25b8p+14, "energy_j");
+  expect_bits(r.storage.cache_hit_rate, 0x1.0a3d70a3d70a4p-1, "hit_rate");
+  expect_bits(r.sched.mean_advance_slots, 0x1.2cc799999999ap+8,
+              "mean_advance");
+}
+
+TEST(BitIdentity, Madbench2HistoryWithoutScheme) {
+  const ExperimentResult r = run_cell("madbench2", false);
+  EXPECT_EQ(r.exec_time.count(), 215'468'768);
+  expect_bits(r.energy_j.value(), 0x1.b3f737f884b51p+13, "energy_j");
+  expect_bits(r.storage.cache_hit_rate, 0x1p+0, "hit_rate");
+  expect_bits(r.sched.mean_advance_slots, 0x0p+0, "mean_advance");
+}
+
+}  // namespace
+}  // namespace dasched

@@ -17,7 +17,7 @@ ExperimentConfig tiny(const std::string& app) {
 TEST(Experiment, DefaultSchemeRunsToCompletion) {
   const ExperimentResult r = run_experiment(tiny("sar"));
   EXPECT_GT(r.exec_time, 0);
-  EXPECT_GT(r.energy_j, 0.0);
+  EXPECT_GT(r.energy_j.value(), 0.0);
   EXPECT_GT(r.events, 0);
   EXPECT_EQ(r.policy, PolicyKind::kNone);
   EXPECT_FALSE(r.scheme);
@@ -28,8 +28,8 @@ TEST(Experiment, EnergyScalesWithExecutionTime) {
   // Sanity: total energy between all-standby and all-active bounds for the
   // 8-disk system.
   const double seconds = to_sec(r.exec_time);
-  EXPECT_GT(r.energy_j, 8 * 7.2 * seconds * 0.9);
-  EXPECT_LT(r.energy_j, 8 * 44.8 * seconds * 1.1);
+  EXPECT_GT(r.energy_j.value(), 8 * 7.2 * seconds * 0.9);
+  EXPECT_LT(r.energy_j.value(), 8 * 44.8 * seconds * 1.1);
 }
 
 TEST(Experiment, SchemeRunPrefetches) {
@@ -46,7 +46,7 @@ TEST(Experiment, DeterministicAcrossRuns) {
   const ExperimentResult a = run_experiment(tiny("madbench2"));
   const ExperimentResult b = run_experiment(tiny("madbench2"));
   EXPECT_EQ(a.exec_time, b.exec_time);
-  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_DOUBLE_EQ(a.energy_j.value(), b.energy_j.value());
   EXPECT_EQ(a.events, b.events);
 }
 
@@ -57,7 +57,7 @@ TEST_P(PolicyIntegration, CompletesUnderEveryPolicy) {
   cfg.policy = GetParam();
   const ExperimentResult r = run_experiment(cfg);
   EXPECT_GT(r.exec_time, 0);
-  EXPECT_GT(r.energy_j, 0.0);
+  EXPECT_GT(r.energy_j.value(), 0.0);
 }
 
 TEST_P(PolicyIntegration, CompletesWithSchemeToo) {
@@ -109,10 +109,10 @@ TEST(Experiment, NodesSweepChangesSignatureWidth) {
 
 TEST(Experiment, HelpersComputeRatios) {
   ExperimentResult base;
-  base.energy_j = 200.0;
+  base.energy_j = Joules{200.0};
   base.exec_time = sec(100.0);
   ExperimentResult r;
-  r.energy_j = 150.0;
+  r.energy_j = Joules{150.0};
   r.exec_time = sec(110.0);
   EXPECT_DOUBLE_EQ(normalized_energy(r, base), 0.75);
   EXPECT_NEAR(degradation(r, base), 0.10, 1e-12);

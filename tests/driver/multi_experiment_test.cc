@@ -22,7 +22,7 @@ TEST(MultiExperiment, TwoAppsRunToCompletion) {
   EXPECT_GT(r.exec_times[0], 0);
   EXPECT_GT(r.exec_times[1], 0);
   EXPECT_EQ(r.makespan, std::max(r.exec_times[0], r.exec_times[1]));
-  EXPECT_GT(r.energy_j, 0.0);
+  EXPECT_GT(r.energy_j.value(), 0.0);
 }
 
 TEST(MultiExperiment, SingleAppMatchesRegularExperiment) {
@@ -33,7 +33,7 @@ TEST(MultiExperiment, SingleAppMatchesRegularExperiment) {
   cfg.scale.factor = 0.1;
   const ExperimentResult single = run_experiment(cfg);
   EXPECT_EQ(multi.exec_times[0], single.exec_time);
-  EXPECT_DOUBLE_EQ(multi.energy_j, single.energy_j);
+  EXPECT_DOUBLE_EQ(multi.energy_j.value(), single.energy_j.value());
 }
 
 TEST(MultiExperiment, ContentionSlowsBothApplications) {
@@ -100,7 +100,7 @@ TEST_P(MultiExperimentAudit, AuditedRunMatchesUnauditedRun) {
   const MultiExperimentResult audited = run_multi_experiment(cfg, &auditor);
   // Observation must not perturb the simulation.
   EXPECT_EQ(plain.makespan, audited.makespan);
-  EXPECT_DOUBLE_EQ(plain.energy_j, audited.energy_j);
+  EXPECT_DOUBLE_EQ(plain.energy_j.value(), audited.energy_j.value());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPolicies, MultiExperimentAudit,

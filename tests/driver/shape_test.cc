@@ -71,7 +71,7 @@ TEST_F(ShapeTest, SchemeImprovesHistoryEnergy) {
   // Fig. 12(d) vs 12(c) on the phased workload.
   const auto& without = cell("madbench2", PolicyKind::kHistory, false);
   const auto& with = cell("madbench2", PolicyKind::kHistory, true);
-  EXPECT_LT(with.energy_j, without.energy_j * 1.02);
+  EXPECT_LT(with.energy_j.value(), without.energy_j.value() * 1.02);
 }
 
 TEST_F(ShapeTest, SchemeReducesSimpleDegradation) {

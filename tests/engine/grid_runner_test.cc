@@ -138,8 +138,8 @@ TEST(GridRunner, SweepGridRunsAndLooksUpByValue) {
   const GridResultSet r = run_grid(grid, opts);
   const ExperimentResult& two = r.find("sar", PolicyKind::kHistory, true, 2.0);
   const ExperimentResult& four = r.find("sar", PolicyKind::kHistory, true, 4.0);
-  EXPECT_GT(two.energy_j, 0.0);
-  EXPECT_GT(four.energy_j, 0.0);
+  EXPECT_GT(two.energy_j.value(), 0.0);
+  EXPECT_GT(four.energy_j.value(), 0.0);
   EXPECT_THROW((void)r.find("sar", PolicyKind::kHistory, true, 8.0),
                std::out_of_range);
 }

@@ -28,7 +28,7 @@ GridCellResult sample_row() {
   row.result.policy = PolicyKind::kHistory;
   row.result.scheme = true;
   row.result.exec_time = sec(120.0);
-  row.result.energy_j = 1234.5;
+  row.result.energy_j = Joules{1234.5};
   row.result.events = 999;
   row.result.audited = true;
   return row;

@@ -13,7 +13,7 @@ using AE = AffineExpr;
 StorageConfig small_storage() {
   StorageConfig cfg;
   cfg.num_io_nodes = 4;
-  cfg.node.cache_capacity = mib(1);
+  cfg.node.cache_capacity = mib(1).count();
   cfg.node.prefetch_depth = 0;
   return cfg;
 }
@@ -37,7 +37,7 @@ RunResult run_program(const LoopProgram& prog, int nproc, bool scheme,
   // Files must exist before compiling; the caller made them on a separate
   // striping map, so rebuild here via a callback-free approach: programs in
   // this test file only use file id 0, created below.
-  (void)storage.create_file("data", mib(64));
+  (void)storage.create_file("data", mib(64).count());
   CompileOptions copts;
   copts.enable_scheduling = scheme;
   const Compiled compiled = compile(prog, nproc, storage.striping(), copts);
@@ -56,8 +56,8 @@ LoopProgram read_loop(int iters) {
       "i", 0, AE(iters - 1),
       {
           make_loop("_io", 0, 0,
-                    {make_read(0, AE::var("p") * mib(8) + AE::var("i") * kib(64),
-                               kib(64)),
+                    {make_read(0, AE::var("p") * mib(8).count() + AE::var("i") * kib(64).count(),
+                               kib(64).count()),
                      make_compute(AE(2'000))},
                     /*slot_loop=*/true),
           make_loop("_pad", 0, 2, {make_compute(AE(700))},
@@ -91,7 +91,7 @@ TEST(Cluster, EveryPrefetchIsConsumedOrWasted) {
 
 TEST(Cluster, TinyBufferDegradesToDirectReads) {
   RuntimeConfig rt;
-  rt.buffer_capacity = kib(64);  // one entry
+  rt.buffer_capacity = kib(64).count();  // one entry
   const RunResult r = run_program(read_loop(20), 2, /*scheme=*/true, rt);
   EXPECT_EQ(r.stats.buffer_hits + r.stats.in_flight_hits + r.stats.direct_reads,
             40);
@@ -104,10 +104,10 @@ TEST(Cluster, ProducerConsumerAcrossProcessesIsCorrect) {
   // writer passes the write.
   TraceBuilder tb(2);
   for (int i = 0; i < 20; ++i) {
-    tb.write(0, 0, static_cast<Bytes>(i) * kib(64), kib(64));
+    tb.write(0, 0, (i) * kib(64).count(), kib(64).count());
     tb.compute(0, 3'000);
     if (i >= 5) {
-      tb.read(1, 0, static_cast<Bytes>(i - 5) * kib(64), kib(64));
+      tb.read(1, 0, (i - 5) * kib(64).count(), kib(64).count());
     }
     tb.compute(1, 3'000);
     tb.end_iteration();
@@ -115,7 +115,7 @@ TEST(Cluster, ProducerConsumerAcrossProcessesIsCorrect) {
 
   Simulator sim;
   StorageSystem storage(sim, small_storage());
-  (void)storage.create_file("data", mib(64));
+  (void)storage.create_file("data", mib(64).count());
   const Compiled compiled = compile_trace(tb.build(), storage.striping());
   // Slacks must reflect the cross-process dependence.
   for (const AccessRecord& rec : compiled.program.reads) {
@@ -132,7 +132,7 @@ TEST(Cluster, ProducerConsumerAcrossProcessesIsCorrect) {
 TEST(Cluster, LocalTimeAdvancesMonotonically) {
   Simulator sim;
   StorageSystem storage(sim, small_storage());
-  (void)storage.create_file("data", mib(64));
+  (void)storage.create_file("data", mib(64).count());
   const Compiled compiled =
       compile(read_loop(10), 1, storage.striping(),
               no_scheduling());
@@ -158,7 +158,7 @@ TEST(Cluster, LocalTimeAdvancesMonotonically) {
 TEST(Cluster, ProgressSubscriptionFiresImmediatelyWhenPast) {
   Simulator sim;
   StorageSystem storage(sim, small_storage());
-  (void)storage.create_file("data", mib(64));
+  (void)storage.create_file("data", mib(64).count());
   const Compiled compiled =
       compile(read_loop(5), 1, storage.striping(),
               no_scheduling());
@@ -174,7 +174,7 @@ TEST(Cluster, ProgressSubscriptionFiresImmediatelyWhenPast) {
 TEST(Cluster, AccessIdLookupMatchesReadSites) {
   Simulator sim;
   StorageSystem storage(sim, small_storage());
-  (void)storage.create_file("data", mib(64));
+  (void)storage.create_file("data", mib(64).count());
   const Compiled compiled = compile(read_loop(5), 2, storage.striping());
   Cluster cluster(sim, storage, compiled, RuntimeConfig{});
   for (std::size_t i = 0; i < compiled.program.read_sites.size(); ++i) {

@@ -74,7 +74,7 @@ TEST_F(CollectiveTest, MaxRangeBoundsTransfers) {
   CollectiveIo cio(sim_, storage_, cfg);
   std::vector<CollectiveIo::Request> reqs;
   for (int i = 0; i < 8; ++i) {
-    reqs.push_back({0, static_cast<Bytes>(i) * kib(64), kib(64)});
+    reqs.push_back({0, (i) * kib(64), kib(64)});
   }
   const auto ranges = cio.coalesce(reqs);
   EXPECT_EQ(ranges.size(), 4u);
@@ -124,7 +124,7 @@ TEST_F(CollectiveTest, FewerDiskRequestsThanIndependentReads) {
   CollectiveIo cio(sim_, storage_);
   std::vector<CollectiveIo::Request> reqs;
   for (int i = 0; i < 32; ++i) {
-    reqs.push_back({file_, static_cast<Bytes>(i) * kib(32), kib(16)});
+    reqs.push_back({file_, (i) * kib(32), kib(16)});
   }
   cio.read_all(reqs, {});
   sim_.run();

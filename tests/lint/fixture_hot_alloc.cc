@@ -1,0 +1,32 @@
+// Seeded violation for the `hot-alloc` rule: a DASCHED_HOT entry point
+// that reaches an allocation both directly (operator new) and through an
+// intra-TU helper (vector growth two calls down).  dasched_lint must flag
+// this TU; the fixture test runs it with `--expect hot-alloc`.
+//
+// This file is compiled by the lint front-end only — it is never linked
+// into any target, so the deliberate leak below never executes.
+#include <vector>
+
+#include "util/annotations.h"
+
+namespace dasched_lint_fixture {
+
+std::vector<int> sink;
+
+void helper_two(int v) { sink.push_back(v); }
+
+void helper_one(int v) { helper_two(v + 1); }
+
+DASCHED_HOT int hot_direct_alloc(int n) {
+  int* p = new int[static_cast<unsigned>(n)];  // flagged: direct allocation
+  p[0] = n;
+  int out = p[0];
+  delete[] p;
+  return out;
+}
+
+DASCHED_HOT void hot_transitive_alloc(int n) {
+  helper_one(n);  // flagged: push_back allocates two calls down
+}
+
+}  // namespace dasched_lint_fixture

@@ -1,0 +1,35 @@
+// Seeded violations for the determinism rules.  One fixture TU covers all
+// three because the fixture tests select the rule under test with
+// `--expect`:
+//
+//   nondet-source          rand() / time() calls
+//   nondet-unordered-iter  range-for over a std::unordered_map
+//   nondet-ptr-sort-key    std::sort over raw pointers
+//
+// Compiled by the lint front-end only; never linked into any target.
+#include <algorithm>
+#include <cstdlib>
+#include <ctime>
+#include <unordered_map>
+#include <vector>
+
+namespace dasched_lint_fixture {
+
+int wall_clock_seed() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // flagged twice
+  return std::rand();                                     // flagged
+}
+
+int sum_in_hash_order(const std::unordered_map<int, int>& m) {
+  int total = 0;
+  for (const auto& [k, v] : m) {  // flagged: iteration order reaches result
+    total = total * 31 + v;
+  }
+  return total;
+}
+
+void sort_by_address(std::vector<int*>& ptrs) {
+  std::sort(ptrs.begin(), ptrs.end());  // flagged: pointer-valued sort key
+}
+
+}  // namespace dasched_lint_fixture

@@ -1,0 +1,54 @@
+// Seeded violations for the passive-observer rules: an observer that
+// mutates simulation state through a stored non-const pointer
+// (observer-nonconst) and one that launders constness away with a
+// const_cast (observer-const-cast).  The compiler cannot catch either —
+// both compile cleanly — which is exactly why the lint rule exists.
+//
+// The offending methods are defined out-of-line: in-class bodies are
+// implicitly inline and GCC only gimplifies them when odr-used, so an
+// out-of-line definition is what guarantees the lint front-end sees them.
+//
+// Compiled by the lint front-end only; never linked into any target.
+#include <utility>
+
+#include "disk/disk.h"
+#include "util/annotations.h"
+
+namespace dasched_lint_fixture {
+
+using dasched::Disk;
+using dasched::DiskObserver;
+using dasched::DiskRequest;
+using dasched::DiskState;
+
+class DASCHED_OBSERVER_PASSIVE MutatingObserver final : public DiskObserver {
+ public:
+  explicit MutatingObserver(Disk* d) : disk_(d) {}
+
+  void on_state_change(const Disk& disk, DiskState from,
+                       DiskState to) override;
+
+ private:
+  Disk* disk_;
+};
+
+void MutatingObserver::on_state_change(const Disk& disk, DiskState from,
+                                       DiskState to) {
+  (void)disk, (void)from, (void)to;
+  DiskRequest req{};
+  disk_->submit(std::move(req));  // flagged: non-const call into sim state
+}
+
+class DASCHED_OBSERVER_PASSIVE LaunderingObserver final : public DiskObserver {
+ public:
+  void on_service_complete(const Disk& disk, dasched::SimTime t) override;
+};
+
+void LaunderingObserver::on_service_complete(const Disk& disk,
+                                             dasched::SimTime t) {
+  (void)t;
+  DiskRequest req{};
+  const_cast<Disk&>(disk).submit(std::move(req));  // flagged: const_cast
+}
+
+}  // namespace dasched_lint_fixture

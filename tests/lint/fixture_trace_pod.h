@@ -1,0 +1,21 @@
+// Seeded violation for the `trace-pod` rule: a trace-event struct that
+// breaks both halves of the layout contract — it is 40 bytes instead of 32
+// and, because of the std::string member, not trivially copyable.  The
+// fixture test points the lint's layout probe at this type with
+//   --pod-header .../fixture_trace_pod.h --pod-type dasched::BadTraceEvent
+// and expects the probe to fail.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dasched {
+
+struct BadTraceEvent {
+  std::uint64_t time_us = 0;
+  std::uint32_t kind = 0;
+  std::uint32_t aux = 0;
+  std::string label;  // breaks trivial copyability (and the 32-byte size)
+};
+
+}  // namespace dasched

@@ -86,7 +86,7 @@ TEST(SimpleSpinDown, EnergySavedOnLongIdle) {
   rig.read_at(0, 0);
   rig.read_at(sec(200.0), kib(64));
   const DiskStats& s = rig.run();
-  EXPECT_LT(s.energy_j, idle_baseline_j(sec(200.0)));
+  EXPECT_LT(s.energy_j.value(), idle_baseline_j(sec(200.0)));
 }
 
 TEST(PredictionSpinDown, BreakEvenMatchesHandComputation) {
@@ -163,7 +163,7 @@ TEST(HistoryMultiSpeed, SlowsDownDuringMediumGaps) {
   const DiskStats& s = rig.run();
   EXPECT_GT(s.rpm_changes, 0);
   EXPECT_GT(s.time_below_max_rpm, sec(20.0));
-  EXPECT_LT(s.energy_j, idle_baseline_j(sec(100.0)));
+  EXPECT_LT(s.energy_j.value(), idle_baseline_j(sec(100.0)));
 }
 
 TEST(HistoryMultiSpeed, NeverSpinsDownCompletely) {

@@ -90,7 +90,7 @@ std::int64_t run_read_round(Simulator& sim, StorageSystem& storage, FileId f,
                             int blocks) {
   std::int64_t completed = 0;
   for (int i = 0; i < blocks; ++i) {
-    storage.read(f, static_cast<Bytes>(i) * kib(64), kib(64),
+    storage.read(f, i * kib(64), kib(64),
                  [&completed] { ++completed; });
   }
   sim.run();

@@ -123,7 +123,7 @@ TEST(IoNode, EnergyAggregatesAcrossDisks) {
   sim.schedule_at(sec(10.0), [] {});
   sim.run();
   IoNodeStats s = node.finalize();
-  EXPECT_NEAR(s.energy_j, 3 * 171.0, 2.0);
+  EXPECT_NEAR(s.energy_j.value(), 3 * 171.0, 2.0);
 }
 
 }  // namespace

@@ -97,8 +97,8 @@ TEST(LruDifferential, RandomChurnMatchesReferenceModel) {
     const Bytes bs = kib(64);
     const std::size_t cap_blocks = static_cast<std::size_t>(rng.next_int(1, 24));
     const std::int64_t universe = rng.next_int(2, 4) * static_cast<std::int64_t>(cap_blocks);
-    StorageCache flat(bs * static_cast<Bytes>(cap_blocks), bs);
-    ReferenceLru ref(bs * static_cast<Bytes>(cap_blocks), bs);
+    StorageCache flat(bs * static_cast<std::int64_t>(cap_blocks), bs);
+    ReferenceLru ref(bs * static_cast<std::int64_t>(cap_blocks), bs);
 
     for (int step = 0; step < 2'000; ++step) {
       const Bytes key = rng.next_int(0, universe - 1) * bs;
@@ -146,11 +146,11 @@ TEST(LruDifferential, SingleBlockCapacityDegeneratesToLastKey) {
   StorageCache flat(bs, bs);
   ReferenceLru ref(bs, bs);
   for (int i = 0; i < 50; ++i) {
-    const Bytes key = static_cast<Bytes>(i % 3) * bs;
+    const Bytes key = (i % 3) * bs;
     flat.insert(key);
     ref.insert(key);
-    flat.lookup(static_cast<Bytes>((i + 1) % 3) * bs);
-    ref.lookup(static_cast<Bytes>((i + 1) % 3) * bs);
+    flat.lookup(((i + 1) % 3) * bs);
+    ref.lookup(((i + 1) % 3) * bs);
     expect_equivalent(flat, ref, i);
   }
   EXPECT_EQ(flat.size(), 1u);

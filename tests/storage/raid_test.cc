@@ -70,7 +70,7 @@ TEST(Raid5, ParityRotatesAcrossRows) {
   // Row r has parity on disk r % 4; data chunk 0 of each row never lands on
   // the parity disk.
   for (int row = 0; row < 8; ++row) {
-    const Bytes chunk0 = static_cast<Bytes>(row) * 3 * kib(64);
+    const Bytes chunk0 = (row) * 3 * kib(64);
     const auto ops = raid.map(chunk0, kib(64), true);
     ASSERT_EQ(ops.size(), 2u);
     const int parity = ops[1].disk;

@@ -71,7 +71,7 @@ TEST(StorageCache, HitRate) {
 
 TEST(StorageCache, CapacityIsRespectedUnderChurn) {
   StorageCache c(kib(64) * 16, kib(64));
-  for (int i = 0; i < 1'000; ++i) c.insert(static_cast<Bytes>(i) * kib(64));
+  for (int i = 0; i < 1'000; ++i) c.insert((i) * kib(64));
   EXPECT_EQ(c.size(), 16u);
   EXPECT_EQ(c.max_blocks(), 16u);
 }

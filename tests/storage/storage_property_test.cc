@@ -34,7 +34,7 @@ TEST_P(StorageGeometry, MixedWorkloadCompletesWithConsistentAccounting) {
   const int total = 120;
   for (int i = 0; i < total; ++i) {
     const Bytes offset =
-        static_cast<Bytes>(rng.next_below(900)) * kib(64);
+        (rng.next_below(900)) * kib(64);
     const Bytes size = kib(static_cast<std::int64_t>(1 + rng.next_below(256)));
     const SimTime when = static_cast<SimTime>(rng.next_below(2'000)) * 1'000;
     sim.schedule_at(when, [&storage, &completed, f, offset, size, i] {
@@ -50,7 +50,7 @@ TEST_P(StorageGeometry, MixedWorkloadCompletesWithConsistentAccounting) {
 
   StorageStats stats = storage.finalize();
   EXPECT_EQ(static_cast<int>(stats.per_node.size()), g.nodes);
-  EXPECT_GT(stats.energy_j, 0.0);
+  EXPECT_GT(stats.energy_j.value(), 0.0);
   EXPECT_GT(stats.disk_requests, 0);
   // Mirrored/parity writes multiply disk traffic, never reduce it.
   std::int64_t node_requests = 0;
@@ -60,7 +60,7 @@ TEST_P(StorageGeometry, MixedWorkloadCompletesWithConsistentAccounting) {
   // >= standby power for the whole run.
   const double floor =
       7.2 * to_sec(sim.now()) * g.nodes * g.disks_per_node * 0.5;
-  EXPECT_GT(stats.energy_j, floor);
+  EXPECT_GT(stats.energy_j.value(), floor);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -87,8 +87,8 @@ TEST(StoragePolicyMatrix, EveryPolicyServesEveryGeometry) {
     const FileId f = storage.create_file("data", mib(8));
     int completed = 0;
     for (int i = 0; i < 10; ++i) {
-      sim.schedule_at(static_cast<SimTime>(i) * sec(5.0), [&, i] {
-        storage.read(f, static_cast<Bytes>(i) * kib(64), kib(64),
+      sim.schedule_at((i) * sec(5.0), [&, i] {
+        storage.read(f, (i) * kib(64), kib(64),
                      [&completed] { ++completed; });
       });
     }

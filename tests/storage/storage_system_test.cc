@@ -82,7 +82,7 @@ TEST(StorageSystem, FinalizeMergesIdleHistograms) {
   // The second read hit the cache, so no disk gap was recorded — or it was,
   // depending on cache state; either way per_node must aggregate cleanly.
   EXPECT_EQ(s.per_node.size(), 4u);
-  EXPECT_GT(s.energy_j, 0.0);
+  EXPECT_GT(s.energy_j.value(), 0.0);
 }
 
 TEST(StorageSystem, CacheHitRateAggregated) {

@@ -93,7 +93,7 @@ TEST(StripingMap, SignatureMatchesBruteForceOnRandomRanges) {
   Rng rng(0x516a7);
   for (int trial = 0; trial < 2'000; ++trial) {
     const int nodes = static_cast<int>(rng.next_int(1, 33));
-    const Bytes stripe = kib(1) << rng.next_int(0, 6);  // 1K..64K
+    const Bytes stripe = kib(std::int64_t{1} << rng.next_int(0, 6));  // 1K..64K
     StripingMap m(nodes, stripe);
     // A couple of files so base_node varies.
     const int nfiles = static_cast<int>(rng.next_int(1, 3));
@@ -103,8 +103,8 @@ TEST(StripingMap, SignatureMatchesBruteForceOnRandomRanges) {
       fsize = stripe * rng.next_int(1, 3 * nodes) + rng.next_int(0, 1) * (stripe / 2);
       f = m.create_file(std::to_string(i), fsize);
     }
-    const Bytes off = rng.next_int(0, fsize - 1);
-    const Bytes size = rng.next_int(1, fsize - off);
+    const Bytes off = rng.next_int(0, fsize.count() - 1);
+    const Bytes size = rng.next_int(1, (fsize - off).count());
 
     Signature brute(nodes);
     for (std::int64_t s = off / stripe; s <= (off + size - 1) / stripe; ++s) {

@@ -16,14 +16,14 @@ TraceEvent accrual(SimTime t, std::uint16_t disk, DiskState state,
   return TraceEvent{t, static_cast<std::uint16_t>(TraceEventKind::kEnergyAccrued),
                     disk, static_cast<std::uint32_t>(state),
                     std::bit_cast<std::uint64_t>(joules),
-                    static_cast<std::uint64_t>(dt)};
+                    static_cast<std::uint64_t>(dt.count())};
 }
 
 TraceEvent idle_end(SimTime t, std::uint16_t disk, SimTime duration,
                     bool counted = true) {
   return TraceEvent{t, static_cast<std::uint16_t>(TraceEventKind::kStreamIdleEnd),
                     disk, counted ? 1u : 0u,
-                    static_cast<std::uint64_t>(duration), 0};
+                    static_cast<std::uint64_t>(duration.count()), 0};
 }
 
 TEST(LogHistogram, BucketsMeanAndExtremes) {
@@ -110,10 +110,10 @@ TEST(TraceAnalyzer, ResidencyAndEnergyFromHandTimeline) {
 
   EXPECT_EQ(s.disks[0].residency[idle], 1500);
   EXPECT_EQ(s.disks[0].residency[xfer], 500);
-  EXPECT_DOUBLE_EQ(s.disks[0].energy_by_state_j[idle], 0.015);
-  EXPECT_DOUBLE_EQ(s.disks[0].energy_j, 0.01 + 0.02 + 0.005);
+  EXPECT_DOUBLE_EQ(s.disks[0].energy_by_state_j[idle].value(), 0.015);
+  EXPECT_DOUBLE_EQ(s.disks[0].energy_j.value(), 0.01 + 0.02 + 0.005);
   EXPECT_EQ(s.disks[1].residency[standby], 3000);
-  EXPECT_DOUBLE_EQ(s.disks[1].energy_j, 0.034);
+  EXPECT_DOUBLE_EQ(s.disks[1].energy_j.value(), 0.034);
 
   // Node/local derived from disks_per_node = 2: both disks are node 0.
   EXPECT_EQ(s.disks[0].node, 0);
@@ -123,8 +123,8 @@ TEST(TraceAnalyzer, ResidencyAndEnergyFromHandTimeline) {
 
   // Aggregates.
   EXPECT_EQ(s.residency[idle], 1500 + 2000);
-  EXPECT_DOUBLE_EQ(s.energy_by_state_j[idle], 0.015 + 0.03);
-  EXPECT_DOUBLE_EQ(s.energy_total_j, 0.035 + 0.034);
+  EXPECT_DOUBLE_EQ(s.energy_by_state_j[idle].value(), 0.015 + 0.03);
+  EXPECT_DOUBLE_EQ(s.energy_total_j.value(), 0.035 + 0.034);
   // Only the counted gaps reach the histogram.
   EXPECT_EQ(s.idle.total, 2);
   EXPECT_EQ(s.idle.min_us, 700);

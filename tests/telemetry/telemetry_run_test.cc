@@ -113,10 +113,10 @@ TEST(TelemetryRun, EnergyByStateMatchesScalarTotal) {
     const ExperimentResult r = run_experiment(cfg);
     ASSERT_NE(r.telemetry, nullptr);
     double by_state = 0.0;
-    for (const double j : r.telemetry->energy_by_state_j) by_state += j;
-    const double scale = std::max(std::fabs(r.energy_j), 1.0);
-    EXPECT_LE(std::fabs(by_state - r.energy_j), 1e-9 * scale);
-    EXPECT_LE(std::fabs(r.telemetry->energy_total_j - r.energy_j),
+    for (const Joules j : r.telemetry->energy_by_state_j) by_state += j.value();
+    const double scale = std::max(std::fabs(r.energy_j.value()), 1.0);
+    EXPECT_LE(std::fabs(by_state - r.energy_j.value()), 1e-9 * scale);
+    EXPECT_LE(std::fabs((r.telemetry->energy_total_j - r.energy_j).value()),
               1e-9 * scale);
   }
 }

@@ -1,0 +1,54 @@
+// Negative compilation harness for the dimensional-safety contract: each
+// DASCHED_CF_* case is an expression that MUST NOT compile.  The CTest
+// entries in tests/util/CMakeLists.txt run the compiler once per case with
+// -fsyntax-only and WILL_FAIL, so a wrapper that silently regains an
+// implicit conversion turns the suite red.
+//
+// DASCHED_CF_CONTROL compiles valid code through the same harness; it
+// guards against the bad cases "failing" for an unrelated reason (broken
+// include path, syntax error in this file, ...).
+#include "util/units.h"
+
+namespace dasched {
+
+#if defined(DASCHED_CF_CONTROL)
+// Control: dimensionally valid code must compile under the harness flags.
+inline Joules control(Watts w, SimTime t) { return w * t; }
+
+#elif defined(DASCHED_CF_TIME_TO_BYTES)
+// A duration is not a size.
+inline Bytes bad(SimTime t) { return t; }
+
+#elif defined(DASCHED_CF_BYTES_PLUS_TIME)
+// Adding bytes to microseconds is meaningless.
+inline auto bad(Bytes b, SimTime t) { return b + t; }
+
+#elif defined(DASCHED_CF_TIME_TIMES_TIME)
+// Time squared has no unit here; only scalar scaling is allowed.
+inline auto bad(SimTime a, SimTime b) { return a * b; }
+
+#elif defined(DASCHED_CF_JOULES_FROM_DOUBLE_IMPLICIT)
+// Energy must be constructed explicitly, never from a bare double.
+inline Joules bad() { return 3.5; }
+
+#elif defined(DASCHED_CF_JOULES_PLUS_WATTS)
+// Energy and power do not add.
+inline auto bad(Joules j, Watts w) { return j + w; }
+
+#elif defined(DASCHED_CF_WATTS_TIMES_WATTS)
+// Power squared is not representable.
+inline auto bad(Watts a, Watts b) { return a * b; }
+
+#elif defined(DASCHED_CF_SIMTIME_TO_INT_IMPLICIT)
+// No silent conversion back out of a unit: use count().
+inline std::int64_t bad(SimTime t) { return t; }
+
+#elif defined(DASCHED_CF_JOULES_TIMES_TIME)
+// Joule-seconds (action) is deliberately not part of the algebra.
+inline auto bad(Joules j, SimTime t) { return j * t; }
+
+#else
+#error "define exactly one DASCHED_CF_* case"
+#endif
+
+}  // namespace dasched

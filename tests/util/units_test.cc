@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <type_traits>
+#include <unordered_map>
+
 namespace dasched {
 namespace {
 
@@ -29,6 +36,112 @@ TEST(Units, ConstexprUsable) {
   static_assert(msec(50.0) == 50'000);
   static_assert(kib(64) == 65'536);
   SUCCEED();
+}
+
+TEST(Units, StrongTypesStayScalarShaped) {
+  // The wrappers must be drop-in replacements for the scalars they wrap:
+  // same size, trivially copyable, trivial default construction — so POD
+  // records (TraceEvent, the event queue) keep their layout.
+  static_assert(sizeof(SimTime) == sizeof(std::int64_t));
+  static_assert(sizeof(Bytes) == sizeof(std::int64_t));
+  static_assert(sizeof(Joules) == sizeof(double));
+  static_assert(sizeof(Watts) == sizeof(double));
+  static_assert(std::is_trivially_copyable_v<SimTime>);
+  static_assert(std::is_trivially_copyable_v<Joules>);
+  static_assert(std::is_trivially_default_constructible_v<SimTime>);
+  static_assert(std::is_trivially_default_constructible_v<Watts>);
+  SUCCEED();
+}
+
+TEST(Units, SimTimeArithmeticRoundTrips) {
+  SimTime t = usec(250);
+  t += msec(1.0);
+  EXPECT_EQ(t, usec(1'250));
+  t -= usec(250);
+  EXPECT_EQ(t.count(), 1'000);
+  EXPECT_EQ(-t, usec(-1'000));
+  EXPECT_EQ(t * 3, msec(3.0));
+  EXPECT_EQ(3 * t, msec(3.0));
+  EXPECT_EQ(msec(3.0) / 3, t);
+  EXPECT_EQ(sec(1.0) / msec(1.0), 1'000);  // dimensionless ratio
+  EXPECT_EQ(usec(2'500) % msec(1.0), usec(500));
+}
+
+TEST(Units, BytesArithmeticRoundTrips) {
+  Bytes b = kib(4);
+  b += kib(4);
+  EXPECT_EQ(b, kib(8));
+  EXPECT_EQ(b - kib(8), 0);
+  EXPECT_EQ(b * 128, mib(1));
+  EXPECT_EQ(mib(1) / kib(8), 128);  // dimensionless block index
+  EXPECT_EQ((kib(4) + 100) % kib(4), 100);
+}
+
+TEST(Units, DimensionalIdentities) {
+  // Watts × SimTime → Joules, inlining to w * to_sec(t) exactly.
+  const Watts w{12.5};
+  const SimTime t = sec(4.0);
+  const Joules e = w * t;
+  EXPECT_DOUBLE_EQ(e.value(), 50.0);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(e.value()),
+            std::bit_cast<std::uint64_t>(12.5 * to_sec(t)));
+  EXPECT_EQ(t * w, e);  // commutes
+
+  // Joules / SimTime → Watts (mean power) and Joules / Watts → seconds.
+  const Watts mean = e / t;
+  EXPECT_DOUBLE_EQ(mean.value(), 12.5);
+  EXPECT_DOUBLE_EQ(e / w, 4.0);
+
+  // Dimensionless ratios come back as plain arithmetic types.
+  EXPECT_DOUBLE_EQ(e / Joules{25.0}, 2.0);
+  EXPECT_DOUBLE_EQ(w / Watts{25.0}, 0.5);
+}
+
+TEST(Units, EnergyAccumulationMatchesScalarLedger) {
+  // The accrual loop the power model runs: energy += power * dt.  The
+  // strong-typed sum must be bit-identical to the raw-double ledger.
+  double raw = 0.0;
+  Joules typed{0.0};
+  const double watts[] = {13.5, 2.3, 0.834, 10.2};
+  const std::int64_t dts[] = {1'250, 900'000, 333, 7};
+  for (int i = 0; i < 4; ++i) {
+    raw += watts[i] * to_sec(usec(dts[i]));
+    typed += Watts{watts[i]} * usec(dts[i]);
+  }
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(typed.value()),
+            std::bit_cast<std::uint64_t>(raw));
+}
+
+TEST(Units, ComparisonAndLimits) {
+  EXPECT_LT(usec(1), msec(1.0));
+  EXPECT_GT(kib(2), kib(1));
+  EXPECT_LE(Joules{1.0}, Joules{1.0});
+  EXPECT_EQ(std::numeric_limits<SimTime>::max(), SimTime::max());
+  EXPECT_EQ(std::numeric_limits<SimTime>::max().count(),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(std::numeric_limits<Bytes>::lowest().count(),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Units, StreamRoundTrip) {
+  // Trace headers serialize counts as text; >> must parse what << wrote.
+  std::stringstream ss;
+  ss << sec(2.0) << " " << kib(3);
+  SimTime t = 0;
+  Bytes b = 0;
+  ss >> t >> b;
+  EXPECT_EQ(t, sec(2.0));
+  EXPECT_EQ(b, kib(3));
+}
+
+TEST(Units, HashIsIdentityOnCount) {
+  // Hash containers keyed on times/offsets must behave exactly as the
+  // int64-keyed containers they replaced.
+  EXPECT_EQ(std::hash<SimTime>{}(usec(42)), std::hash<std::int64_t>{}(42));
+  EXPECT_EQ(std::hash<Bytes>{}(kib(1)), std::hash<std::int64_t>{}(1'024));
+  std::unordered_map<Bytes, int> m;
+  m[kib(4)] = 7;
+  EXPECT_EQ(m.at(kib(4)), 7);
 }
 
 }  // namespace

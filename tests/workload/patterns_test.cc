@@ -85,7 +85,7 @@ TEST_F(PatternsTest, HotBlockRereadAlwaysSameOffset) {
   for (int p = 0; p < 3; ++p) {
     for (const SlotPlan& slot : cp.processes[static_cast<std::size_t>(p)].slots) {
       for (const IoOp& op : slot.ops) {
-        EXPECT_EQ(op.offset, static_cast<Bytes>(p) * kib(64));
+        EXPECT_EQ(op.offset, (p) * kib(64));
       }
     }
   }

@@ -151,7 +151,7 @@ int run_grid_mode(ExperimentGrid grid, const GridRunOptions& opts,
                    TextTable::fmt(row.cell.sweep_value, 0)
              : "-",
          TextTable::fmt(row.result.exec_minutes(), 2),
-         TextTable::fmt(row.result.energy_j / 1'000.0, 2),
+         TextTable::fmt(row.result.energy_j.value() / 1'000.0, 2),
          std::to_string(row.result.events)});
   }
   table.print();
@@ -354,7 +354,7 @@ int main(int argc, char** argv) {
     std::printf("%s,%s,%d,%d,%.3f,%d,%.3f,%.1f,%lld,%lld,%lld,%.4f,%lld,%lld,%lld,%lld\n",
                 r.app.c_str(), to_string(r.policy), r.scheme ? 1 : 0,
                 cfg.scale.num_processes, cfg.scale.factor,
-                cfg.storage.num_io_nodes, to_sec(r.exec_time), r.energy_j,
+                cfg.storage.num_io_nodes, to_sec(r.exec_time), r.energy_j.value(),
                 static_cast<long long>(r.storage.spin_downs),
                 static_cast<long long>(r.storage.spin_ups),
                 static_cast<long long>(r.storage.rpm_changes),
@@ -370,7 +370,7 @@ int main(int argc, char** argv) {
               r.scheme ? " + scheduling" : "");
   TextTable table({"metric", "value"});
   table.add_row({"simulated execution", TextTable::fmt(r.exec_minutes(), 2) + " min"});
-  table.add_row({"disk energy", TextTable::fmt(r.energy_j / 1'000.0, 2) + " kJ"});
+  table.add_row({"disk energy", TextTable::fmt(r.energy_j.value() / 1'000.0, 2) + " kJ"});
   table.add_row({"idle periods", std::to_string(r.storage.idle_periods.count())});
   table.add_row({"spin-downs / spin-ups",
                  std::to_string(r.storage.spin_downs) + " / " +

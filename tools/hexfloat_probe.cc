@@ -37,7 +37,7 @@ int run_probe(int procs, double scale) {
             "sched=%lld forced=%lld fallbacks=%lld mean_advance=%a "
             "buffer_hits=%lld prefetches=%lld\n",
             app.c_str(), to_string(policy), scheme,
-            static_cast<long long>(r.exec_time), r.energy_j,
+            static_cast<long long>(r.exec_time.count()), r.energy_j.value(),
             static_cast<long long>(r.events), r.storage.cache_hit_rate,
             static_cast<long long>(r.storage.disk_requests),
             static_cast<long long>(r.storage.spin_downs),

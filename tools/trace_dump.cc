@@ -47,7 +47,7 @@ const char* state_name(std::uint32_t s) {
 }
 
 void print_event(const TraceEvent& ev) {
-  std::printf("%12lld  %-18s", static_cast<long long>(ev.time),
+  std::printf("%12lld  %-18s", static_cast<long long>(ev.time.count()),
               to_string(ev.event_kind()));
   switch (ev.event_kind()) {
     case TraceEventKind::kStateChange:
@@ -194,7 +194,7 @@ int main(int argc, char** argv) {
       "# app=%s policy=%d scheme=%d seed=%" PRIu64
       " nodes=%d disks/node=%d level=%s end=%lld us events=%zu\n",
       m.app.c_str(), m.policy, m.scheme ? 1 : 0, m.seed, m.num_nodes,
-      m.disks_per_node, to_string(m.level), static_cast<long long>(m.end_time),
+      m.disks_per_node, to_string(m.level), static_cast<long long>(m.end_time.count()),
       trace->events.size());
   long long printed = 0;
   for (const TraceEvent& ev : trace->events) {
