@@ -1,0 +1,100 @@
+// A/B throughput harness for the sharded event engine (BENCH_sim_shard.json).
+//
+// Runs one large-topology experiment — 64 I/O nodes x 512 client processes,
+// far beyond the paper's 8 x 32 evaluation cap — once per shard setting
+// (0 = classic serial engine, then 1, 2, 4 worker threads) with several
+// repetitions each, and reports the median wall-clock and events/second per
+// setting as JSON on stdout.  The simulated results are bit-identical across
+// shards >= 1 (test-enforced), so the only thing varying here is wall-clock.
+//
+// Knobs (strictly parsed): DASCHED_BENCH_SCALE (default 0.05),
+// DASCHED_BENCH_PROCS (default 512), DASCHED_BENCH_NODES (default 64),
+// DASCHED_BENCH_REPS (default 5).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "driver/experiment.h"
+#include "engine/env_knobs.h"
+
+using namespace dasched;
+
+namespace {
+
+struct Sample {
+  double seconds = 0;
+  std::int64_t events = 0;
+};
+
+Sample run_once(int shards, int nodes, int procs, double scale) {
+  ExperimentConfig cfg;
+  cfg.app = "sar";
+  cfg.scale.num_processes = procs;
+  cfg.scale.factor = scale;
+  cfg.storage.num_io_nodes = nodes;
+  cfg.policy = PolicyKind::kHistory;
+  cfg.use_scheme = true;
+  cfg.shards = shards;
+  const auto t0 = std::chrono::steady_clock::now();
+  const ExperimentResult r = run_experiment(cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  Sample s;
+  s.seconds = std::chrono::duration<double>(t1 - t0).count();
+  s.events = r.events;
+  return s;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+int main() {
+  const int nodes = env_int("DASCHED_BENCH_NODES", 64);
+  const int procs = env_int("DASCHED_BENCH_PROCS", 512);
+  const double scale = env_double("DASCHED_BENCH_SCALE", 0.05);
+  const int reps = env_int("DASCHED_BENCH_REPS", 5);
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  std::printf("{\n");
+  std::printf("  \"name\": \"sim_shard\",\n");
+  std::printf(
+      "  \"workload\": {\"app\": \"sar\", \"policy\": \"history\", "
+      "\"scheme\": true, \"nodes\": %d, \"procs\": %d, \"scale\": %g, "
+      "\"reps\": %d},\n",
+      nodes, procs, scale, reps);
+  std::printf("  \"host_cores\": %u,\n", cores);
+  std::printf("  \"settings\": [\n");
+
+  double serial_median = 0;
+  const std::vector<int> settings = {0, 1, 2, 4};
+  for (std::size_t i = 0; i < settings.size(); ++i) {
+    const int shards = settings[i];
+    std::vector<double> seconds;
+    std::int64_t events = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const Sample s = run_once(shards, nodes, procs, scale);
+      seconds.push_back(s.seconds);
+      events = s.events;
+    }
+    const double med = median(seconds);
+    if (shards == 1) serial_median = med;
+    const double speedup = serial_median > 0 ? serial_median / med : 0.0;
+    std::fprintf(stderr, "[shards=%d] median %.3fs, %lld events (%.0f ev/s)\n",
+                 shards, med, static_cast<long long>(events),
+                 static_cast<double>(events) / med);
+    std::printf(
+        "    {\"shards\": %d, \"median_seconds\": %.4f, \"events\": %lld, "
+        "\"events_per_sec\": %.0f, \"speedup_vs_shards1\": %.3f}%s\n",
+        shards, med, static_cast<long long>(events),
+        static_cast<double>(events) / med, speedup,
+        i + 1 < settings.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

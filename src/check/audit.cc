@@ -17,6 +17,16 @@ void SimAuditor::record(Violation v) {
   }
 }
 
+void SimAuditor::absorb(const SimAuditor& other) {
+  evaluations_ += other.evaluations_;
+  violations_total_ += other.violations_total_;
+  absorbed_checks_ += other.num_checks();
+  for (const Violation& v : other.violations_) {
+    if (violations_.size() >= kMaxStoredViolations) break;
+    violations_.push_back(v);
+  }
+}
+
 void SimAuditor::finalize() {
   if (finalized_) return;
   finalized_ = true;
@@ -27,11 +37,11 @@ std::string SimAuditor::report() const {
   std::ostringstream os;
   if (clean()) {
     os << "audit: " << evaluations_ << " invariant evaluations across "
-       << checks_.size() << " checks, no violations\n";
+       << num_checks() << " checks, no violations\n";
     return os.str();
   }
   os << "audit: " << violations_total_ << " violation(s) across "
-     << checks_.size() << " checks (" << evaluations_ << " evaluations)\n";
+     << num_checks() << " checks (" << evaluations_ << " evaluations)\n";
   for (const Violation& v : violations_) {
     os << "  [" << v.check << "] t=" << to_sec(v.time) << "s  " << v.detail
        << "\n";

@@ -87,6 +87,12 @@ class SimAuditor {
   /// true count.
   void record(Violation v);
 
+  /// Folds another auditor's findings into this one (a sharded run merges
+  /// its per-lane auditors after the workers stop).  The other auditor keeps
+  /// its checks; violations and counters are copied over (up to the same
+  /// storage cap), and its check count joins this report's total.
+  void absorb(const SimAuditor& other);
+
   /// Runs every check's end-of-run pass.  Idempotent.
   void finalize();
 
@@ -98,7 +104,9 @@ class SimAuditor {
     return violations_total_;
   }
   [[nodiscard]] std::int64_t evaluations() const { return evaluations_; }
-  [[nodiscard]] std::size_t num_checks() const { return checks_.size(); }
+  [[nodiscard]] std::size_t num_checks() const {
+    return checks_.size() + absorbed_checks_;
+  }
 
   /// Multi-line human-readable report (violations or an all-clear line).
   [[nodiscard]] std::string report() const;
@@ -113,6 +121,7 @@ class SimAuditor {
   std::vector<Violation> violations_;
   std::int64_t violations_total_ = 0;
   std::int64_t evaluations_ = 0;
+  std::size_t absorbed_checks_ = 0;
   bool finalized_ = false;
 };
 

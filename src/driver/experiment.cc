@@ -23,10 +23,10 @@ namespace {
 constexpr double kEnergyRelEps = 1e-9;
 
 void write_telemetry_artifacts(const std::string& dir,
-                               const TelemetryRecorder& recorder,
+                               const TraceBuffer& buffer, const TraceMeta& meta,
                                const TelemetrySummary& summary) {
   std::filesystem::create_directories(dir);
-  if (!save_trace(dir + "/trace.bin", recorder.buffer(), recorder.meta())) {
+  if (!save_trace(dir + "/trace.bin", buffer, meta)) {
     throw std::runtime_error("telemetry: cannot write " + dir + "/trace.bin");
   }
   std::ofstream sj(dir + "/summary.json");
@@ -35,10 +35,38 @@ void write_telemetry_artifacts(const std::string& dir,
     throw std::runtime_error("telemetry: cannot open outputs under " + dir);
   }
   write_summary_json(sj, summary);
-  write_chrome_trace(cj, recorder.buffer(), recorder.meta());
+  write_chrome_trace(cj, buffer, meta);
 }
 
 }  // namespace
+
+void validate_experiment_topology(const ExperimentConfig& cfg) {
+  if (cfg.scale.num_processes < 1) {
+    throw std::invalid_argument(
+        "experiment: num_processes must be >= 1, got " +
+        std::to_string(cfg.scale.num_processes));
+  }
+  if (cfg.storage.num_io_nodes < 1) {
+    throw std::invalid_argument("experiment: num_io_nodes must be >= 1, got " +
+                                std::to_string(cfg.storage.num_io_nodes));
+  }
+  if (cfg.shards < 0) {
+    throw std::invalid_argument(
+        "experiment: shards must be >= 0 (0 = classic serial engine), got " +
+        std::to_string(cfg.shards));
+  }
+  if (cfg.shards > cfg.storage.num_io_nodes) {
+    throw std::invalid_argument(
+        "experiment: shards (" + std::to_string(cfg.shards) +
+        ") exceeds num_io_nodes (" + std::to_string(cfg.storage.num_io_nodes) +
+        "); every worker needs at least one I/O-node event lane");
+  }
+  if (cfg.shards > 0 && cfg.storage.network_latency <= SimTime{0}) {
+    throw std::invalid_argument(
+        "experiment: sharded execution derives its lookahead from "
+        "storage.network_latency, which must be positive");
+  }
+}
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   if (!cfg.audit) return run_experiment(cfg, nullptr);
@@ -56,31 +84,73 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg,
                                 SimAuditor* auditor) {
-  Simulator sim;
+  validate_experiment_topology(cfg);
+  const bool is_sharded = cfg.shards > 0;
+
+  // The client-facing lane: lane 0 of the sharded engine, or the lone
+  // classic simulator.  Everything client-side (cluster, compile, routing)
+  // talks to this lane only.
+  std::unique_ptr<ShardedSimulator> sharded;
+  std::unique_ptr<Simulator> serial;
+  if (is_sharded) {
+    ShardedSimConfig scfg;
+    scfg.num_streams = 1 + cfg.storage.num_io_nodes;
+    scfg.shards = cfg.shards;
+    scfg.lookahead = cfg.storage.network_latency;
+    sharded = std::make_unique<ShardedSimulator>(scfg);
+  } else {
+    serial = std::make_unique<Simulator>();
+  }
+  Simulator& sim = is_sharded ? sharded->lane(0) : *serial;
 
   StorageConfig storage_cfg = cfg.storage;
   storage_cfg.node.policy = cfg.policy;
   storage_cfg.node.policy_cfg = cfg.policy_cfg;
   storage_cfg.seed = cfg.seed;
-  StorageSystem storage(sim, storage_cfg);
+  std::optional<StorageSystem> storage_holder;
+  if (is_sharded) {
+    storage_holder.emplace(*sharded, storage_cfg);
+  } else {
+    storage_holder.emplace(sim, storage_cfg);
+  }
+  StorageSystem& storage = *storage_holder;
 
   // Hook the auditor in before anything can schedule an event, so the
-  // event-queue ledger sees the complete history.
+  // event-queue ledger sees the complete history.  A sharded run gets one
+  // auditor per lane (merged after the workers stop) so every check stays
+  // on its lane's thread.
   InstalledChecks checks;
+  ShardedAuditLanes audit_lanes;
   if (auditor != nullptr) {
-    checks = install_audit(*auditor, sim, storage, cfg.policy, cfg.policy_cfg);
+    if (is_sharded) {
+      install_audit_sharded(audit_lanes, *sharded, storage, cfg.policy,
+                            cfg.policy_cfg);
+    } else {
+      checks =
+          install_audit(*auditor, sim, storage, cfg.policy, cfg.policy_cfg);
+    }
   }
 
   // The telemetry recorder attaches beside the audit checks (every layer
-  // multiplexes observers) and is strictly passive.
+  // multiplexes observers) and is strictly passive.  Sharded runs record
+  // one trace per lane and merge them deterministically after the run.
   std::unique_ptr<TelemetryRecorder> recorder;
+  std::vector<std::unique_ptr<TelemetryRecorder>> lane_recorders;
+  TelemetryRecorder* client_recorder = nullptr;
   if (cfg.telemetry.enabled()) {
-    recorder = std::make_unique<TelemetryRecorder>(cfg.telemetry.level);
-    TraceMeta& meta = recorder->meta();
+    if (is_sharded) {
+      install_telemetry_sharded(lane_recorders, cfg.telemetry.level, *sharded,
+                                storage);
+      client_recorder = lane_recorders[0].get();
+    } else {
+      recorder = std::make_unique<TelemetryRecorder>(cfg.telemetry.level);
+      install_telemetry(*recorder, sim, storage);
+      client_recorder = recorder.get();
+    }
+    TraceMeta& meta = client_recorder->meta();
     meta.app = cfg.app;
     meta.policy = static_cast<int>(cfg.policy);
     meta.scheme = cfg.use_scheme;
-    install_telemetry(*recorder, sim, storage);
   }
 
   const App& app = app_by_name(cfg.app);
@@ -90,8 +160,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   copts.enable_scheduling = cfg.use_scheme;
   copts.slack.length_unit = app.length_unit;
   copts.slack.max_slack = cfg.max_slack;
-  if (recorder != nullptr && recorder->level() >= TraceLevel::kFull) {
-    copts.sched_observer = recorder.get();
+  if (client_recorder != nullptr &&
+      client_recorder->level() >= TraceLevel::kFull) {
+    copts.sched_observer = client_recorder;
   }
   Compiled compiled = compile_trace(std::move(trace), storage.striping(), copts);
   if (auditor != nullptr) {
@@ -103,8 +174,16 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   Cluster cluster(sim, storage, compiled, rt);
   // Run until the application completes; power-policy timers may keep the
   // event queue alive past that point, and accounting must stop at the
-  // application's end (the paper's energies cover program execution).
-  cluster.run_to_completion();
+  // application's end (the paper's energies cover program execution).  The
+  // sharded engine checks the stop predicate at window barriers, so it
+  // stops at the end of the window containing the last finish — a bounded
+  // (< lookahead), deterministic tail shared by every shard count.
+  if (is_sharded) {
+    cluster.start();
+    sharded->run([&cluster] { return cluster.all_finished(); });
+  } else {
+    cluster.run_to_completion();
+  }
 
   if (!cluster.all_finished()) {
     throw std::runtime_error("experiment '" + cfg.app +
@@ -120,21 +199,33 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   out.energy_j = out.storage.energy_j;
   out.runtime = cluster.stats();
   out.sched = compiled.sched_stats;
-  out.events = sim.events_executed();
+  out.events = is_sharded ? sharded->events_executed() : sim.events_executed();
 
-  if (recorder != nullptr) {
+  if (client_recorder != nullptr) {
     // finalize() above fired the trailing accruals, so the trace now tiles
     // every disk's timeline completely.
-    recorder->meta().end_time = sim.now();
+    client_recorder->meta().end_time = sim.now();
+    TraceBuffer merged;
+    const TraceBuffer* buffer = &client_recorder->buffer();
+    if (is_sharded) {
+      std::vector<const TraceBuffer*> lanes;
+      lanes.reserve(lane_recorders.size());
+      for (const auto& r : lane_recorders) lanes.push_back(&r->buffer());
+      merge_traces(lanes, merged);
+      buffer = &merged;
+    }
     auto summary = std::make_shared<TelemetrySummary>(
-        analyze_trace(recorder->buffer(), recorder->meta()));
+        analyze_trace(*buffer, client_recorder->meta()));
 
     // Reconcile the energy-by-state breakdown against the scalar total.
     // Under an auditor this extends the energy-conservation invariant;
     // without one a divergence is a fatal telemetry bug.
-    if (checks.energy != nullptr) {
-      checks.energy->cross_check_aggregate(summary->energy_by_state_j,
-                                           out.energy_j, sim.now());
+    EnergyConservationCheck* energy_check =
+        is_sharded ? audit_lanes.energy : checks.energy;
+    if (energy_check != nullptr) {
+      if (is_sharded) merge_sharded_ledgers(audit_lanes);
+      energy_check->cross_check_aggregate(summary->energy_by_state_j,
+                                          out.energy_j, sim.now());
     }
     const double scale = std::max(std::fabs(out.energy_j.value()), 1.0);
     if (std::fabs((summary->energy_total_j - out.energy_j).value()) >
@@ -146,12 +237,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     }
 
     if (!cfg.telemetry.dir.empty()) {
-      write_telemetry_artifacts(cfg.telemetry.dir, *recorder, *summary);
+      write_telemetry_artifacts(cfg.telemetry.dir, *buffer,
+                                client_recorder->meta(), *summary);
     }
     out.telemetry = std::move(summary);
   }
 
   if (auditor != nullptr) {
+    if (is_sharded) finalize_audit_sharded(audit_lanes, *auditor);
     auditor->finalize();
     out.audited = true;
     out.audit_violations = auditor->violations_total();

@@ -61,6 +61,18 @@ struct ExperimentConfig {
   /// 0 = the full producer-to-consumer window (paper semantics); the runtime
   /// buffer capacity is then the only limit on hoisting.
   Slot max_slack = 600;
+
+  /// Intra-run sharding (DESIGN.md §14).  0 = the classic serial engine
+  /// (bit-identical to every earlier release).  N >= 1 selects the sharded
+  /// engine with N worker threads over per-I/O-node event lanes; results
+  /// are bit-identical for every N (the conservative-lookahead protocol),
+  /// so `shards=1` is the serial reference the differential tests compare
+  /// against.  The sharded engine differs from the classic one only in the
+  /// stop instant: it stops at the end of the lookahead window containing
+  /// the last client finish (< one network latency of extra simulated
+  /// time), so its absolute energies differ from `shards=0` by that
+  /// bounded, deterministic tail.  Requires 1 <= shards <= num_io_nodes.
+  int shards = 0;
 };
 
 struct ExperimentResult {
@@ -86,6 +98,14 @@ struct ExperimentResult {
 
   [[nodiscard]] double exec_minutes() const { return to_minutes(exec_time); }
 };
+
+/// Validates the run topology: process/node counts must be positive (any
+/// size is accepted — the paper's 8-node/32-client evaluation cap is a
+/// default, not a limit), and a sharded run needs 1 <= shards <=
+/// num_io_nodes plus a positive network latency (the lookahead source).
+/// Throws std::invalid_argument with a specific message otherwise.  Called
+/// by run_experiment; exposed for tools and tests.
+void validate_experiment_topology(const ExperimentConfig& cfg);
 
 /// Runs a single experiment to completion.  Throws std::runtime_error if the
 /// simulation deadlocks (a client never finishes) or if `cfg.audit` is set

@@ -36,10 +36,14 @@ SweepAxis sweep_axis_by_name(const std::string& name,
     axis.apply = [](ExperimentConfig& cfg, double v) {
       cfg.max_slack = static_cast<Slot>(v);
     };
+  } else if (name == "shards") {
+    axis.apply = [](ExperimentConfig& cfg, double v) {
+      cfg.shards = static_cast<int>(v);
+    };
   } else {
     throw std::invalid_argument("unknown sweep axis '" + name +
                                 "' (known: nodes, delta, theta, cache_mib, "
-                                "buffer_mib, slack)");
+                                "buffer_mib, slack, shards)");
   }
   return axis;
 }

@@ -1,0 +1,161 @@
+#include "sim/sharded_sim.h"
+
+#include <limits>
+#include <thread>
+#include <utility>
+
+namespace dasched {
+
+ShardedSimulator::ShardedSimulator(ShardedSimConfig cfg) : cfg_(cfg) {
+  assert(cfg_.num_streams >= 1 && "need at least the client stream");
+  assert(cfg_.shards >= 1 && "need at least one worker");
+  assert(cfg_.lookahead > SimTime{0} &&
+         "conservative windows need a positive lookahead");
+  lanes_.reserve(static_cast<std::size_t>(cfg_.num_streams));
+  for (int s = 0; s < cfg_.num_streams; ++s) {
+    lanes_.push_back(std::make_unique<Simulator>());
+    lanes_.back()->set_stream(static_cast<std::uint32_t>(s));
+  }
+  to_node_.resize(lanes_.size());
+  to_client_.resize(lanes_.size());
+
+  // Lane 0 always runs on worker 0 (it is the heaviest stream: all clients
+  // plus routing); node lane j goes to worker (j - 1) % shards.  The map is
+  // a pure wall-clock concern — any assignment yields identical results.
+  owned_.resize(static_cast<std::size_t>(cfg_.shards));
+  owned_[0].push_back(0);
+  for (int s = 1; s < cfg_.num_streams; ++s) {
+    owned_[static_cast<std::size_t>((s - 1) % cfg_.shards)].push_back(s);
+  }
+}
+
+void ShardedSimulator::post(int from, int to, SimTime t, EventFn fn) {
+  assert(from >= 0 && from < num_streams() && to >= 0 && to < num_streams());
+  assert(from != to && (from == 0 || to == 0) &&
+         "cross-shard traffic is client <-> node only");
+  assert(t >= lane(from).now() + cfg_.lookahead &&
+         "cross-shard send violates the lookahead bound");
+  const std::uint64_t seq = lane(from).take_send_seq();
+  Mailbox& box = to == 0 ? to_client_[static_cast<std::size_t>(from)]
+                         : to_node_[static_cast<std::size_t>(to)];
+  // dasched-lint: allow(hot-alloc): mailbox vectors retain their capacity
+  // across windows (clear() on drain), so steady state allocates nothing.
+  box.buf[write_parity_].push_back(MailEntry{t, seq, std::move(fn)});
+}
+
+SimTime ShardedSimulator::min_pending_time() const {
+  SimTime m = std::numeric_limits<SimTime>::max();
+  for (const auto& l : lanes_) {
+    const SimTime t = l->next_event_time();
+    if (t < m) m = t;
+  }
+  // Undrained mailbox entries count too: with every lane queue empty an
+  // in-flight cross-shard event is still pending work, not a deadlock.
+  // Scanning both parities is safe — drained buffers are empty.
+  for (const auto* boxes : {&to_node_, &to_client_}) {
+    for (const Mailbox& box : *boxes) {
+      for (const auto& buf : box.buf) {
+        for (const MailEntry& e : buf) {
+          if (e.time < m) m = e.time;
+        }
+      }
+    }
+  }
+  return m;
+}
+
+void ShardedSimulator::plan() noexcept {
+  // Runs on exactly one thread while every worker is blocked in the
+  // barrier, so it may read all lanes and mailboxes without synchronization.
+  drain_parity_ = write_parity_;
+  if (failed_.load(std::memory_order_relaxed)) {
+    stop_ = true;
+    return;
+  }
+  if (stop_when_ != nullptr && (*stop_when_)()) {
+    stop_ = true;
+    return;
+  }
+  const SimTime m = min_pending_time();
+  if (m == std::numeric_limits<SimTime>::max()) {
+    // Fully drained without satisfying the stop predicate: the caller's
+    // deadlock handling (run_experiment's "clients are stuck") takes over.
+    deadlocked_ = true;
+    stop_ = true;
+    return;
+  }
+  window_end_ = m + cfg_.lookahead;
+  write_parity_ = 1 - write_parity_;
+  ++windows_run_;
+}
+
+void ShardedSimulator::drain_lane(int stream) {
+  Simulator& l = lane(stream);
+  auto drain_box = [&](Mailbox& box) {
+    auto& buf = box.buf[drain_parity_];
+    for (MailEntry& e : buf) l.inject(e.time, e.seq, std::move(e.fn));
+    buf.clear();
+  };
+  if (stream == 0) {
+    // Inbound responses, in node order — the injection order is irrelevant
+    // for the queue (keys decide), but keep it deterministic anyway.
+    for (int s = 1; s < num_streams(); ++s) {
+      drain_box(to_client_[static_cast<std::size_t>(s)]);
+    }
+  } else {
+    drain_box(to_node_[static_cast<std::size_t>(stream)]);
+  }
+}
+
+void ShardedSimulator::worker_main(int worker, WindowBarrier& barrier) {
+  const std::vector<int>& mine = owned_[static_cast<std::size_t>(worker)];
+  for (;;) {
+    barrier.arrive_and_wait();  // plan() ran; the window is published
+    if (stop_) return;
+    if (failed_.load(std::memory_order_relaxed)) continue;
+    try {
+      for (int stream : mine) drain_lane(stream);
+      for (int stream : mine) lane(stream).run_window(window_end_);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mu_);
+      if (error_ == nullptr) error_ = std::current_exception();
+      failed_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+SimTime ShardedSimulator::run(const std::function<bool()>& stop_when) {
+  stop_when_ = &stop_when;
+  stop_ = false;
+  deadlocked_ = false;
+  windows_run_ = 0;
+  failed_.store(false, std::memory_order_relaxed);
+  error_ = nullptr;
+
+  WindowBarrier barrier(cfg_.shards, PlanCompletion{this});
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(cfg_.shards - 1));
+  for (int w = 1; w < cfg_.shards; ++w) {
+    threads.emplace_back([this, w, &barrier] { worker_main(w, barrier); });
+  }
+  worker_main(0, barrier);
+  for (std::thread& t : threads) t.join();
+  stop_when_ = nullptr;
+  if (error_ != nullptr) std::rethrow_exception(error_);
+
+  // Stamp every lane to the end of the last executed window so trailing
+  // idle accrual at finalize is deterministic for every shard count.  When
+  // the run stopped before any window, the lanes keep their clocks.
+  for (auto& l : lanes_) {
+    if (window_end_ > l->now()) l->set_now(window_end_);
+  }
+  return lane(0).now();
+}
+
+std::int64_t ShardedSimulator::events_executed() const {
+  std::int64_t total = 0;
+  for (const auto& l : lanes_) total += l->events_executed();
+  return total;
+}
+
+}  // namespace dasched

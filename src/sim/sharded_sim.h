@@ -1,0 +1,142 @@
+// Intra-run sharded discrete-event execution (DESIGN.md §14).
+//
+// A `ShardedSimulator` partitions one simulation into logical streams, each
+// backed by its own `Simulator` lane: stream 0 is the client layer (cluster,
+// scheduler threads, global buffer, storage routing), stream 1+i is I/O node
+// i with its disks and power policies.  Lanes are mapped onto `shards`
+// worker threads and driven in conservative lookahead windows: every worker
+// executes its lanes' events inside the window [M, M+L), where M is the
+// global minimum pending time and L is the minimum cross-shard latency (one
+// network hop).  The only cross-shard traffic — request routing hops and
+// join-completion responses — always lands at least L in the future, so a
+// window can never miss an incoming event.
+//
+// Determinism is by construction, not by luck: every event carries the key
+// (time, stream, local_seq) — encoded as `(stream << 48) | seq` so the
+// existing (time, seq) comparator realizes it — and cross-shard sends
+// travel through per-pair single-writer mailboxes that are drained only at
+// window barriers.  The per-lane event sequences therefore depend only on
+// the topology, never on the worker count: `shards=1` and `shards=N`
+// produce bit-identical results (tests/driver/shard_differential_test.cc).
+//
+// The mailboxes are double-buffered by window parity and their vectors are
+// recycled, so the steady-state cross-shard path performs zero heap
+// allocations (tests/sim/shard_mailbox_alloc_test.cc).
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cassert>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/annotations.h"
+#include "util/units.h"
+
+namespace dasched {
+
+struct ShardedSimConfig {
+  /// Logical streams: 1 (client layer) + number of I/O nodes.
+  int num_streams = 1;
+  /// Worker threads the node lanes are distributed over (>= 1).  Any value
+  /// yields the same results; it only changes wall-clock parallelism.
+  int shards = 1;
+  /// Conservative window length: the minimum latency of any cross-shard
+  /// event (one network hop).  Must be positive.
+  SimTime lookahead = 0;
+};
+
+class ShardedSimulator {
+ public:
+  explicit ShardedSimulator(ShardedSimConfig cfg);
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  [[nodiscard]] int num_streams() const {
+    return static_cast<int>(lanes_.size());
+  }
+  [[nodiscard]] int shards() const { return cfg_.shards; }
+  [[nodiscard]] SimTime lookahead() const { return cfg_.lookahead; }
+
+  /// The lane backing logical stream `stream` (0 = client layer).
+  [[nodiscard]] Simulator& lane(int stream) {
+    return *lanes_[static_cast<std::size_t>(stream)];
+  }
+
+  /// Schedules `fn` at absolute time `t` on lane `to`, from lane `from`.
+  /// Cross traffic is client <-> node only, and `t` must respect the
+  /// lookahead bound (`t >= sender now + lookahead`).  Called only by the
+  /// worker that owns lane `from` (single writer per mailbox buffer).
+  DASCHED_HOT void post(int from, int to, SimTime t, EventFn fn);
+
+  /// Drives every lane until `stop_when` returns true at a window barrier,
+  /// or the whole simulation drains.  `stop_when` runs single-threaded
+  /// inside the barrier and must not throw.  After the run every lane's
+  /// clock is stamped to the end of the last executed window, so trailing
+  /// idle accrual is deterministic and shard-count invariant.  Returns the
+  /// final common time.
+  SimTime run(const std::function<bool()>& stop_when);
+
+  /// True when the last `run` stopped because every lane drained before
+  /// `stop_when` was satisfied.
+  [[nodiscard]] bool deadlocked() const { return deadlocked_; }
+
+  /// Total events executed across all lanes.
+  [[nodiscard]] std::int64_t events_executed() const;
+
+  /// Lookahead windows executed by the last `run` (diagnostics).
+  [[nodiscard]] std::int64_t windows_run() const { return windows_run_; }
+
+ private:
+  struct MailEntry {
+    SimTime time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  /// One directed channel; double-buffered by window parity so the sender
+  /// appends to one buffer while the receiver drains the other.
+  struct Mailbox {
+    std::vector<MailEntry> buf[2];
+  };
+
+  /// Barrier completion hook; std::barrier requires a nothrow callable.
+  struct PlanCompletion {
+    ShardedSimulator* self;
+    void operator()() const noexcept { self->plan(); }
+  };
+  using WindowBarrier = std::barrier<PlanCompletion>;
+
+  void plan() noexcept;  // barrier completion: computes the next window
+  void worker_main(int worker, WindowBarrier& barrier);
+  void drain_lane(int stream);
+  [[nodiscard]] SimTime min_pending_time() const;
+
+  ShardedSimConfig cfg_;
+  std::vector<std::unique_ptr<Simulator>> lanes_;
+  /// Inbound mailboxes: client -> node j is `to_node_[j]`, node j -> client
+  /// is `to_client_[j]` (index 0 of each is unused padding).
+  std::vector<Mailbox> to_node_;
+  std::vector<Mailbox> to_client_;
+  std::vector<std::vector<int>> owned_;  // worker -> lanes it executes
+
+  // Window plan; written by plan() inside the barrier, read by workers
+  // during the window (the barrier provides the ordering).
+  int write_parity_ = 1;  // pre-run posts land in parity 1 (window 0 drains it)
+  int drain_parity_ = 0;
+  SimTime window_end_ = 0;
+  bool stop_ = false;
+  bool deadlocked_ = false;
+  std::int64_t windows_run_ = 0;
+
+  const std::function<bool()>* stop_when_ = nullptr;
+  std::atomic<bool> failed_{false};
+  std::mutex error_mu_;
+  std::exception_ptr error_;
+};
+
+}  // namespace dasched

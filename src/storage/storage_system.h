@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/sharded_sim.h"
 #include "sim/simulator.h"
 #include "storage/io_node.h"
 #include "storage/striping.h"
@@ -68,6 +69,12 @@ class StorageSystem {
  public:
   StorageSystem(Simulator& sim, StorageConfig cfg);
 
+  /// Sharded construction: client-side routing lives on lane 0, I/O node i
+  /// (with its disks and policies) on lane 1+i, and the network hops cross
+  /// lanes through the sharded simulator's mailboxes.  `sharded` must have
+  /// `1 + num_io_nodes` streams.
+  StorageSystem(ShardedSimulator& sharded, StorageConfig cfg);
+
   StorageSystem(const StorageSystem&) = delete;
   StorageSystem& operator=(const StorageSystem&) = delete;
 
@@ -110,10 +117,12 @@ class StorageSystem {
   StorageStats finalize();
 
  private:
+  void build_nodes();
   void route(FileId f, Bytes offset, Bytes size, bool is_write,
              bool background, EventFn done);
 
-  Simulator& sim_;
+  Simulator& sim_;  // the client-side lane (lane 0 when sharded)
+  ShardedSimulator* sharded_ = nullptr;  // null on the classic serial path
   StorageConfig cfg_;
   StripingMap striping_;
   ObserverList<StorageObserver> observers_;

@@ -18,6 +18,7 @@
 #include <array>
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -54,6 +55,12 @@ class TraceBuffer {
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
 
+  /// Random access by append index.  Chunks fill sequentially, so every
+  /// chunk except the last is full and the address is O(1) arithmetic.
+  [[nodiscard]] const TraceEvent& operator[](std::size_t i) const {
+    return chunks_[i / kChunkEvents]->events[i % kChunkEvents];
+  }
+
   template <typename Fn>
   void for_each(Fn&& fn) const {
     for (const auto& c : chunks_) {
@@ -73,6 +80,14 @@ class TraceBuffer {
   std::vector<std::unique_ptr<Chunk>> free_;
   std::size_t size_ = 0;
 };
+
+/// Deterministic k-way merge of per-lane traces into `out`, ordered by
+/// (time, lane index, in-lane order).  A sharded run records one trace per
+/// lane; each lane's sequence depends only on the topology (never on the
+/// worker count), and this merge rule is a pure function of those
+/// sequences, so the merged stream is shard-count invariant
+/// (tests/driver/shard_differential_test.cc).  `out` is cleared first.
+void merge_traces(std::span<const TraceBuffer* const> lanes, TraceBuffer& out);
 
 /// One recorder per run; attach with telemetry/install.h.
 class DASCHED_OBSERVER_PASSIVE TelemetryRecorder final

@@ -96,6 +96,8 @@ TEST(ExperimentGrid, SweepAxisAppliesToConfig) {
   EXPECT_EQ(grid.cells()[0].config.storage.node.cache_capacity, mib(32));
   grid.sweep = sweep_axis_by_name("buffer_mib", {64});
   EXPECT_EQ(grid.cells()[0].config.runtime.buffer_capacity, mib(64));
+  grid.sweep = sweep_axis_by_name("shards", {4});
+  EXPECT_EQ(grid.cells()[0].config.shards, 4);
 }
 
 TEST(ExperimentGrid, UnknownSweepAxisThrows) {

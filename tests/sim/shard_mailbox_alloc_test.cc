@@ -1,0 +1,138 @@
+// Zero-allocation regression test for the cross-shard mailbox path.
+//
+// Mirrors tests/storage/alloc_count_test.cc: global operator new/delete are
+// replaced with counting versions gated by a flag.  A warm-up phase of
+// ping-pong rounds grows every pool to its high-water mark — the lanes'
+// event-record pools and heap vectors, and both parities of every mailbox
+// buffer.  The counting flag is then flipped by an in-simulation event, so
+// only the steady-state window loop is measured: post() append, barrier
+// plan, drain_lane() inject, run_window() dispatch.  Those must perform
+// ZERO heap allocations; a new allocation site in the mailbox protocol
+// turns into a failure here, not a silent throughput regression.
+//
+// The engine runs with shards=1: identical code path through post / plan /
+// drain (the protocol does not branch on worker count), with no thread
+// machinery in the measured loop.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "sim/sharded_sim.h"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocations{0};
+
+void note_allocation() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void* counted_alloc(std::size_t n) {
+  note_allocation();
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t n, std::size_t align) {
+  note_allocation();
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, n == 0 ? align : n) != 0) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+// Replaceable global allocation functions — every variant the runtime may
+// pick, so no allocation slips past the counter.
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  note_allocation();
+  return std::malloc(n == 0 ? 1 : n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  note_allocation();
+  return std::malloc(n == 0 ? 1 : n);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace dasched {
+namespace {
+
+TEST(ShardMailboxAlloc, SteadyStateCrossShardPathAllocatesNothing) {
+  ShardedSimConfig cfg;
+  cfg.num_streams = 3;  // client + two node lanes: both mailbox directions
+  cfg.shards = 1;
+  cfg.lookahead = 10;
+  ShardedSimulator sim(cfg);
+
+  constexpr int kWarmupRounds = 50;
+  constexpr int kMeasuredEnd = 150;
+  constexpr int kTotalRounds = 200;
+  int rounds = 0;
+
+  // One round: the client fans a ping out to both nodes, each node echoes,
+  // and the second ack starts the next round.  Every round exercises all
+  // four mailboxes with the same traffic shape, so the warm-up reaches the
+  // steady-state high-water mark of every buffer and pool.
+  int pending_acks = 0;
+  std::function<void()> start_round = [&] {
+    const SimTime t = sim.lane(0).now() + cfg.lookahead;
+    pending_acks = 2;
+    for (int node = 1; node <= 2; ++node) {
+      sim.post(0, node, t, [&, node] {
+        sim.post(node, 0, sim.lane(node).now() + cfg.lookahead, [&] {
+          if (--pending_acks > 0) return;
+          ++rounds;
+          if (rounds == kWarmupRounds) {
+            g_allocations.store(0, std::memory_order_relaxed);
+            g_counting.store(true, std::memory_order_relaxed);
+          } else if (rounds == kMeasuredEnd) {
+            g_counting.store(false, std::memory_order_relaxed);
+          }
+          if (rounds < kTotalRounds) start_round();
+        });
+      });
+    }
+  };
+  sim.lane(0).schedule_at(0, [&] { start_round(); });
+  sim.run([&] { return rounds >= kTotalRounds; });
+
+  EXPECT_EQ(rounds, kTotalRounds);
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "steady-state mailbox path performed heap allocations";
+}
+
+}  // namespace
+}  // namespace dasched

@@ -1,0 +1,162 @@
+// Unit tests for the sharded event engine (DESIGN.md §14).
+//
+// These exercise the protocol directly — mailbox ordering, lookahead
+// windows, deadlock detection, stop stamping, worker-count invariance —
+// with tiny hand-built lane programs.  End-to-end bit-identity against the
+// serial engine lives in tests/driver/shard_differential_test.cc.
+#include "sim/sharded_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace dasched {
+namespace {
+
+ShardedSimConfig make_cfg(int streams, int shards, SimTime lookahead = 10) {
+  ShardedSimConfig cfg;
+  cfg.num_streams = streams;
+  cfg.shards = shards;
+  cfg.lookahead = lookahead;
+  return cfg;
+}
+
+/// One (time, tag) log per lane.  Each lane's log is only ever touched by
+/// the worker that owns the lane, and the run() join publishes it to the
+/// test thread, so no extra synchronization is needed.
+using LaneLog = std::vector<std::pair<SimTime, int>>;
+
+TEST(ShardedSim, PingPongCrossesLanesAndStops) {
+  ShardedSimulator sim(make_cfg(/*streams=*/2, /*shards=*/1));
+  LaneLog client_log;
+  LaneLog node_log;
+  int rounds = 0;
+  constexpr int kRounds = 5;
+
+  // Client ping at t -> node echo at t+10 -> client ack at t+20 -> next
+  // ping.  Every hop is exactly one lookahead, the tightest legal send.
+  std::function<void(SimTime)> ping = [&](SimTime t) {
+    sim.post(0, 1, t, [&, t] {
+      node_log.emplace_back(sim.lane(1).now(), 0);
+      sim.post(1, 0, t + 10, [&] {
+        client_log.emplace_back(sim.lane(0).now(), 0);
+        if (++rounds < kRounds) ping(sim.lane(0).now() + 10);
+      });
+    });
+  };
+  ping(10);
+  sim.run([&] { return rounds >= kRounds; });
+
+  ASSERT_EQ(node_log.size(), static_cast<std::size_t>(kRounds));
+  ASSERT_EQ(client_log.size(), static_cast<std::size_t>(kRounds));
+  for (int i = 0; i < kRounds; ++i) {
+    EXPECT_EQ(node_log[static_cast<std::size_t>(i)].first, 10 + 20 * i);
+    EXPECT_EQ(client_log[static_cast<std::size_t>(i)].first, 20 + 20 * i);
+  }
+  EXPECT_FALSE(sim.deadlocked());
+  EXPECT_EQ(sim.events_executed(), 2 * kRounds);
+}
+
+TEST(ShardedSim, MailboxTiesFireInSendOrder) {
+  ShardedSimulator sim(make_cfg(2, 1));
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sim.post(0, 1, 50, [&order, i] { order.push_back(i); });
+  }
+  int fired = 0;
+  sim.lane(1).schedule_at(0, [&] { fired = 1; });  // keeps the queue alive
+  sim.run([&] { return order.size() == 4; });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ShardedSim, ClientSendsOrderBeforeNodeLocalEventsOnTies) {
+  // At equal times the key (time, stream, local_seq) decides: an event sent
+  // by the client (stream 0) precedes the receiving node's own events
+  // (stream 1+i), regardless of injection order or worker count.
+  ShardedSimulator sim(make_cfg(2, 1));
+  std::vector<int> order;
+  sim.lane(1).schedule_at(40, [&] { order.push_back(1); });
+  sim.post(0, 1, 40, [&] { order.push_back(0); });
+  sim.run([&] { return order.size() == 2; });
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(ShardedSim, WindowsSkipIdleGaps) {
+  // Two events a million ticks apart must take two windows, not 10^5: the
+  // planner jumps each window to the global minimum pending time.
+  ShardedSimulator sim(make_cfg(2, 1));
+  int fired = 0;
+  sim.lane(0).schedule_at(5, [&] { ++fired; });
+  sim.lane(1).schedule_at(1'000'000, [&] { ++fired; });
+  sim.run([&] { return fired == 2; });
+  EXPECT_EQ(fired, 2);
+  EXPECT_LE(sim.windows_run(), 3);
+}
+
+TEST(ShardedSim, DrainingWithoutStopIsDeadlock) {
+  ShardedSimulator sim(make_cfg(2, 1));
+  sim.lane(0).schedule_at(5, [] {});
+  sim.run([] { return false; });
+  EXPECT_TRUE(sim.deadlocked());
+}
+
+TEST(ShardedSim, StopStampsEveryLaneToTheWindowEnd) {
+  ShardedSimulator sim(make_cfg(3, 1));
+  bool done = false;
+  sim.lane(2).schedule_at(25, [&] { done = true; });
+  sim.lane(1).schedule_at(3, [] {});
+  const SimTime end = sim.run([&] { return done; });
+  // All lanes share the final clock, so trailing idle accrual (finalize)
+  // is identical whichever lane a disk happens to live on.
+  EXPECT_EQ(sim.lane(0).now(), end);
+  EXPECT_EQ(sim.lane(1).now(), end);
+  EXPECT_EQ(sim.lane(2).now(), end);
+  EXPECT_GT(end, 25);
+}
+
+TEST(ShardedSim, WorkerExceptionPropagatesToRun) {
+  ShardedSimulator sim(make_cfg(2, 2));
+  sim.lane(1).schedule_at(5, [] { throw std::runtime_error("lane blew up"); });
+  EXPECT_THROW(sim.run([] { return false; }), std::runtime_error);
+}
+
+/// Runs the same three-lane scatter/gather program and returns the per-lane
+/// logs; the sharded engine promises these are worker-count invariant.
+std::vector<LaneLog> run_scatter(int shards) {
+  ShardedSimulator sim(make_cfg(3, shards));
+  std::vector<LaneLog> logs(3);
+  int acks = 0;
+  constexpr int kPings = 8;
+  for (int i = 0; i < kPings; ++i) {
+    const int node = 1 + i % 2;
+    sim.post(0, node, 10 + 5 * i, [&, i, node] {
+      logs[static_cast<std::size_t>(node)].emplace_back(
+          sim.lane(node).now(), i);
+      sim.post(node, 0, sim.lane(node).now() + 10, [&, i] {
+        logs[0].emplace_back(sim.lane(0).now(), i);
+        ++acks;
+      });
+    });
+  }
+  sim.run([&] { return acks >= kPings; });
+  return logs;
+}
+
+TEST(ShardedSim, LaneSequencesAreWorkerCountInvariant) {
+  const std::vector<LaneLog> one = run_scatter(1);
+  const std::vector<LaneLog> two = run_scatter(2);
+  ASSERT_EQ(one.size(), two.size());
+  for (std::size_t lane = 0; lane < one.size(); ++lane) {
+    EXPECT_EQ(one[lane], two[lane]) << "lane " << lane;
+  }
+  EXPECT_EQ(one[0].size(), 8u);
+  EXPECT_EQ(one[1].size(), 4u);
+  EXPECT_EQ(one[2].size(), 4u);
+}
+
+}  // namespace
+}  // namespace dasched

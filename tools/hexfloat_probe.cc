@@ -5,7 +5,11 @@
 // verification harness used by the storage-path and scheduler fast-path
 // rewrites (see EXPERIMENTS.md "Bit-identity probes").
 //
-// Usage: hexfloat_probe [--procs N] [--scale F]   (defaults: 8, 0.2)
+// Usage: hexfloat_probe [--procs N] [--scale F] [--shards N]
+// (defaults: 8, 0.2, 0 = classic serial engine).  Diffing `--shards 1`
+// against `--shards N` output is the tentpole check for the sharded engine:
+// the conservative-lookahead protocol promises bit-identity across worker
+// counts (DESIGN.md §14), and this probe is how CI enforces it.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -16,7 +20,7 @@
 namespace dasched {
 namespace {
 
-int run_probe(int procs, double scale) {
+int run_probe(int procs, double scale, int shards) {
   const std::vector<std::string> apps = {"sar", "madbench2", "hf", "apsi"};
   const std::vector<PolicyKind> policies = {
       PolicyKind::kNone, PolicyKind::kSimple, PolicyKind::kHistory,
@@ -30,6 +34,7 @@ int run_probe(int procs, double scale) {
         cfg.scale.factor = scale;
         cfg.policy = policy;
         cfg.use_scheme = scheme != 0;
+        cfg.shards = shards;
         const ExperimentResult r = run_experiment(cfg);
         std::printf(
             "%s %s scheme=%d exec=%lld energy=%a events=%lld "
@@ -60,16 +65,21 @@ int run_probe(int procs, double scale) {
 int main(int argc, char** argv) {
   int procs = 8;
   double scale = 0.2;
+  int shards = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--procs" && i + 1 < argc) {
       procs = std::atoi(argv[++i]);
     } else if (arg == "--scale" && i + 1 < argc) {
       scale = std::atof(argv[++i]);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: hexfloat_probe [--procs N] [--scale F]\n");
+      std::fprintf(stderr,
+                   "usage: hexfloat_probe [--procs N] [--scale F] "
+                   "[--shards N]\n");
       return 2;
     }
   }
-  return dasched::run_probe(procs, scale);
+  return dasched::run_probe(procs, scale, shards);
 }
