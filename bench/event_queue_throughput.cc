@@ -1,0 +1,174 @@
+// A/B throughput harness: ladder queue vs binary heap (BENCH_event_queue.json).
+//
+// Runs the event-core workload shapes from bench/microbench_scheduler.cc —
+// self-rescheduling timer chains (the engine's dominant pattern), a
+// schedule/cancel mix, and a bimodal near/far horizon mix that exercises
+// every ladder tier — once per queue kind with several repetitions, and
+// reports the median wall-clock, events/second, and the ladder:heap speedup
+// per workload as JSON on stdout.  The popped event sequences are identical
+// by construction (tests/sim/queue_differential_test.cc), so the only thing
+// varying here is wall-clock.
+//
+// Knobs (strictly parsed): DASCHED_BENCH_REPS (default 5),
+// DASCHED_BENCH_EVENTS (events per repetition, default 2'000'000).
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "engine/env_knobs.h"
+#include "sim/simulator.h"
+
+using namespace dasched;
+
+namespace {
+
+/// N self-rescheduling timer chains; mirrors BM_EventCoreTimerChains.
+void run_timer_chains(Simulator& sim, int chains, std::int64_t total_events) {
+  std::int64_t remaining = total_events;
+  struct Chain {
+    Simulator* sim;
+    std::int64_t* remaining;
+    SimTime period;
+    void operator()() const {
+      if (--*remaining <= 0) return;
+      Chain next = *this;
+      sim->schedule_after(period, next);
+    }
+  };
+  for (int c = 0; c < chains; ++c) {
+    Chain chain{&sim, &remaining, usec(10 + c)};
+    sim.schedule_after(usec(c), chain);
+  }
+  while (sim.step()) {
+  }
+}
+
+/// Half the scheduled events cancel before firing; mirrors
+/// BM_EventCoreCancelMix.
+void run_cancel_mix(Simulator& sim, int /*chains*/, std::int64_t total_events) {
+  constexpr int kBatch = 1'024;
+  std::vector<EventHandle> handles;
+  handles.reserve(kBatch);
+  for (std::int64_t done = 0; done < total_events; done += kBatch) {
+    for (int i = 0; i < kBatch; ++i) {
+      handles.push_back(sim.schedule_after(usec(100 + i), [] {}));
+    }
+    for (int i = 0; i < kBatch; i += 2) {
+      handles[static_cast<std::size_t>(i)].cancel();
+    }
+    while (sim.step()) {
+    }
+    handles.clear();
+  }
+}
+
+/// 7:2:1 near/mid/far horizons from a deterministic LCG: pushes traffic
+/// through the bottom ring, the rungs, and the far-future top tier.
+void run_bimodal(Simulator& sim, int chains, std::int64_t total_events) {
+  std::int64_t remaining = total_events;
+  struct Chain {
+    Simulator* sim;
+    std::int64_t* remaining;
+    std::uint64_t rng;
+    void operator()() {
+      if (--*remaining <= 0) return;
+      rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+      const std::uint64_t r = rng >> 33;
+      const std::int64_t horizon =
+          r % 10 < 7
+              ? 1 + static_cast<std::int64_t>(r % 97)
+              : (r % 10 < 9
+                     ? 1'000 + static_cast<std::int64_t>(r % 9'001)
+                     : 500'000 + static_cast<std::int64_t>(r % 1'000'000));
+      Chain next = *this;
+      sim->schedule_after(SimTime{horizon}, next);
+    }
+  };
+  for (int c = 0; c < chains; ++c) {
+    Chain chain{&sim, &remaining, static_cast<std::uint64_t>(c) * 977 + 1};
+    sim.schedule_after(usec(c), chain);
+  }
+  while (sim.step()) {
+  }
+}
+
+struct Workload {
+  const char* name;
+  void (*run)(Simulator&, int, std::int64_t);
+  int chains;
+};
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/// Thread CPU time: the benchmark is single-threaded and deterministic, so
+/// CPU seconds are the signal; wall-clock would fold in whatever else the
+/// host is running (CI machines are rarely quiet).
+double cpu_now() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+double time_one(const Workload& w, QueueKind kind, std::int64_t events) {
+  Simulator sim(kind);
+  sim.reserve_events(8'192);
+  const double t0 = cpu_now();
+  w.run(sim, w.chains, events);
+  return cpu_now() - t0;
+}
+
+}  // namespace
+
+int main() {
+  const int reps = env_int("DASCHED_BENCH_REPS", 5);
+  const auto events = static_cast<std::int64_t>(
+      env_int("DASCHED_BENCH_EVENTS", 2'000'000));
+  const std::vector<Workload> workloads = {
+      {"timer_chains/1", &run_timer_chains, 1},
+      {"timer_chains/64", &run_timer_chains, 64},
+      {"cancel_mix", &run_cancel_mix, 1},
+      {"bimodal_horizons/64", &run_bimodal, 64},
+  };
+
+  std::printf("{\n");
+  std::printf("  \"name\": \"event_queue\",\n");
+  std::printf("  \"workload\": {\"events_per_rep\": %lld, \"reps\": %d},\n",
+              static_cast<long long>(events), reps);
+  std::printf("  \"host_cores\": %u,\n", std::thread::hardware_concurrency());
+  std::printf("  \"nproc\": %ld,\n", sysconf(_SC_NPROCESSORS_ONLN));
+  std::printf("  \"workloads\": [\n");
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const Workload& w = workloads[i];
+    double med[2] = {0, 0};
+    for (QueueKind kind : {QueueKind::kHeap, QueueKind::kLadder}) {
+      std::vector<double> seconds;
+      for (int rep = 0; rep < reps; ++rep) {
+        seconds.push_back(time_one(w, kind, events));
+      }
+      med[kind == QueueKind::kLadder ? 1 : 0] = median(seconds);
+    }
+    const double speedup = med[1] > 0 ? med[0] / med[1] : 0.0;
+    std::fprintf(stderr,
+                 "[%s] heap %.3fs, ladder %.3fs (%.2fx, %.0f ev/s)\n", w.name,
+                 med[0], med[1], speedup,
+                 static_cast<double>(events) / med[1]);
+    std::printf(
+        "    {\"workload\": \"%s\", \"heap_median_seconds\": %.4f, "
+        "\"ladder_median_seconds\": %.4f, \"ladder_events_per_sec\": %.0f, "
+        "\"ladder_speedup_vs_heap\": %.3f}%s\n",
+        w.name, med[0], med[1], static_cast<double>(events) / med[1], speedup,
+        i + 1 < workloads.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

@@ -10,6 +10,8 @@
 // Knobs (strictly parsed): DASCHED_BENCH_SCALE (default 0.05),
 // DASCHED_BENCH_PROCS (default 512), DASCHED_BENCH_NODES (default 64),
 // DASCHED_BENCH_REPS (default 5).
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -69,6 +71,7 @@ int main() {
       "\"reps\": %d},\n",
       nodes, procs, scale, reps);
   std::printf("  \"host_cores\": %u,\n", cores);
+  std::printf("  \"nproc\": %ld,\n", sysconf(_SC_NPROCESSORS_ONLN));
   std::printf("  \"settings\": [\n");
 
   double serial_median = 0;

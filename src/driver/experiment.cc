@@ -40,6 +40,40 @@ void write_telemetry_artifacts(const std::string& dir,
 
 }  // namespace
 
+std::vector<double> default_lane_costs(const StorageConfig& storage,
+                                       const WorkloadScale& scale) {
+  // Event-count proxies, not microseconds.  Per client request the client
+  // lane runs the compute timer, the request dispatch, one routing hop per
+  // stripe piece, and the join completion; a node lane runs its share of
+  // the cache-lookup / elevator / disk-service / response chain plus policy
+  // timers.  Requests spread evenly over nodes (RAID-0 striping), so each
+  // node lane carries ~1/num_io_nodes of the disk-side work, scaled by its
+  // disk count for the per-disk service and policy events.
+  const double clients = static_cast<double>(scale.num_processes);
+  const double nodes = static_cast<double>(storage.num_io_nodes);
+  const double disks = static_cast<double>(storage.node.num_disks);
+  std::vector<double> costs(static_cast<std::size_t>(1 + storage.num_io_nodes));
+  costs[0] = clients * 4.0;
+  const double per_node = (clients * 4.0) / nodes + disks * 2.0;
+  for (std::size_t i = 1; i < costs.size(); ++i) costs[i] = per_node;
+  return costs;
+}
+
+std::size_t default_event_reserve(const StorageConfig& storage,
+                                  const WorkloadScale& scale) {
+  // Concurrently *outstanding* events, not total events: each client keeps
+  // a bounded in-flight chain (compute timer + one piece per node of the
+  // current request + join), each disk a bounded set (service completion,
+  // policy timer, elevator kick), plus prefetch slots per node.  The slack
+  // constant absorbs transient double-booking around hand-offs.
+  const std::size_t clients = static_cast<std::size_t>(scale.num_processes);
+  const std::size_t nodes = static_cast<std::size_t>(storage.num_io_nodes);
+  const std::size_t disks = static_cast<std::size_t>(storage.node.num_disks);
+  const std::size_t prefetch =
+      static_cast<std::size_t>(storage.node.prefetch_depth);
+  return clients * (2 + nodes) + nodes * (disks * 3 + prefetch + 2) + 64;
+}
+
 void validate_experiment_topology(const ExperimentConfig& cfg) {
   if (cfg.scale.num_processes < 1) {
     throw std::invalid_argument(
@@ -92,14 +126,24 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   // talks to this lane only.
   std::unique_ptr<ShardedSimulator> sharded;
   std::unique_ptr<Simulator> serial;
+  const std::size_t reserve = default_event_reserve(cfg.storage, cfg.scale);
   if (is_sharded) {
     ShardedSimConfig scfg;
     scfg.num_streams = 1 + cfg.storage.num_io_nodes;
     scfg.shards = cfg.shards;
     scfg.lookahead = cfg.storage.network_latency;
+    scfg.lane_assign = cfg.lane_assign;
+    scfg.lane_costs = default_lane_costs(cfg.storage, cfg.scale);
     sharded = std::make_unique<ShardedSimulator>(scfg);
+    // Every lane gets the full-topology bound: generous (a node lane holds
+    // only its node's events) but cheap, and it keeps the steady state of
+    // every lane allocation-free regardless of the lane→worker map.
+    for (int s = 0; s < scfg.num_streams; ++s) {
+      sharded->lane(s).reserve_events(reserve);
+    }
   } else {
     serial = std::make_unique<Simulator>();
+    serial->reserve_events(reserve);
   }
   Simulator& sim = is_sharded ? sharded->lane(0) : *serial;
 

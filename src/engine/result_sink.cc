@@ -1,11 +1,11 @@
 #include "engine/result_sink.h"
 
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <ostream>
 #include <stdexcept>
 
+#include "engine/env_knobs.h"
 #include "telemetry/analytics.h"
 
 namespace dasched {
@@ -230,10 +230,8 @@ void write_telemetry_files(const GridResultSet& results,
 }
 
 void emit_env_sinks(const GridResultSet& results) {
-  const char* csv = std::getenv("DASCHED_BENCH_CSV");
-  const char* jsonl = std::getenv("DASCHED_BENCH_JSONL");
-  write_result_files(results, csv == nullptr ? "" : csv,
-                     jsonl == nullptr ? "" : jsonl);
+  write_result_files(results, env_string("DASCHED_BENCH_CSV", ""),
+                     env_string("DASCHED_BENCH_JSONL", ""));
 }
 
 }  // namespace dasched

@@ -59,9 +59,7 @@ EventHandle Simulator::schedule_at(SimTime t, Callback cb) {
   const std::uint32_t slot = acquire_slot();
   Record& rec = records_[slot];
   rec.cb = std::move(cb);
-  // dasched-lint: allow(hot-alloc): binary-heap growth amortizes to the
-  // peak outstanding-event count, then stops.
-  queue_.push(QueuedEvent{t, seq, slot});
+  queue_push(QueuedEvent{t, seq, slot});
   return EventHandle{this, slot, rec.gen};
 }
 
@@ -76,18 +74,16 @@ void Simulator::inject(SimTime t, std::uint64_t seq, Callback cb) {
   const std::uint32_t slot = acquire_slot();
   Record& rec = records_[slot];
   rec.cb = std::move(cb);
-  // dasched-lint: allow(hot-alloc): binary-heap growth amortizes to the
-  // peak outstanding-event count, then stops.
-  queue_.push(QueuedEvent{t, seq, slot});
+  queue_push(QueuedEvent{t, seq, slot});
 }
 
 void Simulator::run_window(SimTime end) {
   // Same body as step(), with the window bound folded into the pop loop:
   // step() would run the first live event even when it lies at or past
   // `end`, which breaks the conservative-lookahead contract.
-  while (!queue_.empty() && queue_.top().time < end) {
-    const QueuedEvent ev = queue_.top();
-    queue_.pop();
+  while (!queue_empty() && queue_top().time < end) {
+    const QueuedEvent ev = queue_top();
+    queue_pop();
     Record& rec = records_[ev.slot];
     if (rec.cancelled) {
       observers_.notify([&](SimObserver* o) { o->on_event_discarded(ev.seq); });
@@ -105,9 +101,9 @@ void Simulator::run_window(SimTime end) {
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    const QueuedEvent ev = queue_.top();
-    queue_.pop();
+  while (!queue_empty()) {
+    const QueuedEvent ev = queue_top();
+    queue_pop();
     Record& rec = records_[ev.slot];
     if (rec.cancelled) {
       observers_.notify([&](SimObserver* o) { o->on_event_discarded(ev.seq); });
@@ -130,8 +126,8 @@ bool Simulator::step() {
 }
 
 SimTime Simulator::run(SimTime until) {
-  while (!queue_.empty()) {
-    if (queue_.top().time > until) {
+  while (!queue_empty()) {
+    if (queue_top().time > until) {
       now_ = until;
       return now_;
     }
@@ -144,7 +140,7 @@ bool Simulator::idle() const {
   // Cancelled events may still sit in the queue; they do not count as work,
   // but scanning the queue would be O(n).  A conservative "false" when only
   // cancelled events remain is acceptable for all callers (run() skips them).
-  return queue_.empty();
+  return queue_empty();
 }
 
 }  // namespace dasched

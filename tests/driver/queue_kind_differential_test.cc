@@ -1,0 +1,125 @@
+// Differential bit-identity suite for the event-queue kind (DESIGN.md §15).
+//
+// The ladder queue replaces the binary heap as the engine's default; the
+// replacement is only legal because both realize the same strict
+// (time, stream, local_seq) total order, so whole experiments must be
+// bit-identical under either.  `DASCHED_QUEUE` is the process-wide selector
+// (the driver constructs its simulators through the env-reading default
+// constructor), so these tests flip the environment around run_experiment
+// calls and compare every output field exactly — the same discipline as
+// tests/driver/shard_differential_test.cc for the worker count.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+
+#include "driver/experiment.h"
+
+namespace dasched {
+namespace {
+
+/// Sets DASCHED_QUEUE for the duration of one scope ("" = unset).
+class ScopedQueueEnv {
+ public:
+  explicit ScopedQueueEnv(const char* value) {
+    if (value == nullptr || *value == '\0') {
+      ::unsetenv("DASCHED_QUEUE");
+    } else {
+      ::setenv("DASCHED_QUEUE", value, /*overwrite=*/1);
+    }
+  }
+  ~ScopedQueueEnv() { ::unsetenv("DASCHED_QUEUE"); }
+  ScopedQueueEnv(const ScopedQueueEnv&) = delete;
+  ScopedQueueEnv& operator=(const ScopedQueueEnv&) = delete;
+};
+
+ExperimentConfig make_cell(const char* app, PolicyKind policy, bool scheme,
+                           int shards) {
+  ExperimentConfig cfg;
+  cfg.app = app;
+  cfg.scale.num_processes = 4;
+  cfg.scale.factor = 0.1;
+  cfg.policy = policy;
+  cfg.use_scheme = scheme;
+  cfg.shards = shards;
+  return cfg;
+}
+
+void expect_bits(double a, double b, const char* what) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << what << ": " << std::hexfloat << a << " vs " << b
+      << std::defaultfloat;
+}
+
+void expect_identical(const ExperimentResult& ref, const ExperimentResult& r) {
+  EXPECT_EQ(r.exec_time.count(), ref.exec_time.count());
+  expect_bits(r.energy_j.value(), ref.energy_j.value(), "energy_j");
+  EXPECT_EQ(r.events, ref.events);
+  expect_bits(r.storage.cache_hit_rate, ref.storage.cache_hit_rate,
+              "hit_rate");
+  EXPECT_EQ(r.storage.disk_requests, ref.storage.disk_requests);
+  EXPECT_EQ(r.storage.spin_downs, ref.storage.spin_downs);
+  EXPECT_EQ(r.storage.spin_ups, ref.storage.spin_ups);
+  EXPECT_EQ(r.storage.rpm_changes, ref.storage.rpm_changes);
+  EXPECT_EQ(r.storage.idle_periods.count(), ref.storage.idle_periods.count());
+  EXPECT_EQ(r.runtime.prefetches, ref.runtime.prefetches);
+  EXPECT_EQ(r.runtime.buffer_hits, ref.runtime.buffer_hits);
+  EXPECT_EQ(r.sched.scheduled, ref.sched.scheduled);
+  expect_bits(r.sched.mean_advance_slots, ref.sched.mean_advance_slots,
+              "mean_advance");
+}
+
+void run_differential(const char* app, PolicyKind policy, bool scheme,
+                      int shards) {
+  SCOPED_TRACE(testing::Message() << app << " policy=" << to_string(policy)
+                                  << " scheme=" << scheme
+                                  << " shards=" << shards);
+  ExperimentResult heap_result = [&] {
+    ScopedQueueEnv env("heap");
+    return run_experiment(make_cell(app, policy, scheme, shards));
+  }();
+  ExperimentResult ladder_result = [&] {
+    ScopedQueueEnv env("ladder");
+    return run_experiment(make_cell(app, policy, scheme, shards));
+  }();
+  expect_identical(heap_result, ladder_result);
+}
+
+TEST(QueueKindDifferential, SerialEngineAcrossPoliciesAndSchemes) {
+  for (PolicyKind policy : {PolicyKind::kNone, PolicyKind::kHistory,
+                            PolicyKind::kStaggered}) {
+    for (bool scheme : {false, true}) {
+      run_differential("sar", policy, scheme, /*shards=*/0);
+    }
+  }
+}
+
+TEST(QueueKindDifferential, ShardedEngineMatchesAcrossKinds) {
+  // Every lane of the sharded engine runs its own queue; the kind must be
+  // invisible there too, including across worker counts.
+  for (int shards : {1, 2, 4}) {
+    run_differential("madbench2", PolicyKind::kHistory, true, shards);
+  }
+}
+
+TEST(QueueKindDifferential, DefaultEqualsLadder) {
+  // The unset-env default must be the ladder: same bits as an explicit
+  // DASCHED_QUEUE=ladder run (and the Simulator reports the kind).
+  ExperimentResult explicit_ladder = [&] {
+    ScopedQueueEnv env("ladder");
+    return run_experiment(
+        make_cell("sar", PolicyKind::kHistory, true, /*shards=*/0));
+  }();
+  ExperimentResult defaulted = [&] {
+    ScopedQueueEnv env("");
+    return run_experiment(
+        make_cell("sar", PolicyKind::kHistory, true, /*shards=*/0));
+  }();
+  expect_identical(explicit_ladder, defaulted);
+  Simulator sim;
+  EXPECT_EQ(sim.queue_kind(), QueueKind::kLadder);
+}
+
+}  // namespace
+}  // namespace dasched

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <stdexcept>
 #include <utility>
@@ -156,6 +157,125 @@ TEST(ShardedSim, LaneSequencesAreWorkerCountInvariant) {
   EXPECT_EQ(one[0].size(), 8u);
   EXPECT_EQ(one[1].size(), 4u);
   EXPECT_EQ(one[2].size(), 4u);
+}
+
+// --- lane→worker assignment (DESIGN.md §15.3) ------------------------------
+
+/// Flattens an assignment into lane -> worker for easy comparison.
+std::vector<int> lane_to_worker(const std::vector<std::vector<int>>& owned,
+                                int num_streams) {
+  std::vector<int> map(static_cast<std::size_t>(num_streams), -1);
+  for (std::size_t w = 0; w < owned.size(); ++w) {
+    for (int lane : owned[w]) {
+      EXPECT_EQ(map[static_cast<std::size_t>(lane)], -1)
+          << "lane " << lane << " assigned twice";
+      map[static_cast<std::size_t>(lane)] = static_cast<int>(w);
+    }
+  }
+  for (std::size_t s = 0; s < map.size(); ++s) {
+    EXPECT_NE(map[s], -1) << "lane " << s << " unassigned";
+  }
+  return map;
+}
+
+TEST(LaneAssignment, RoundRobinMatchesTheLegacyMap) {
+  const auto owned = assign_lanes(5, 2, LaneAssign::kRoundRobin, {});
+  ASSERT_EQ(owned.size(), 2u);
+  // Lane 0 on worker 0; node lane j on worker (j-1) % shards.
+  EXPECT_EQ(owned[0], (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(owned[1], (std::vector<int>{2, 4}));
+}
+
+TEST(LaneAssignment, BalancedPutsHeaviestLanesFirst) {
+  // Node lane 1 dominates: LPT sends it to the emptiest worker (not worker
+  // 0, which already carries the pinned client lane) and routes the light
+  // lanes around it.
+  const std::vector<double> costs = {1.0, 8.0, 1.0, 1.0, 1.0, 1.0};
+  const auto owned = assign_lanes(6, 2, LaneAssign::kBalanced, costs);
+  const std::vector<int> map = lane_to_worker(owned, 6);
+  EXPECT_EQ(map[0], 0);
+  EXPECT_EQ(map[1], 1);
+  for (int s = 2; s < 6; ++s) EXPECT_EQ(map[s], 0) << "lane " << s;
+}
+
+TEST(LaneAssignment, BalancedUniformCostsSpreadEvenly) {
+  for (int shards : {1, 2, 3, 4}) {
+    const auto owned = assign_lanes(9, shards, LaneAssign::kBalanced, {});
+    ASSERT_EQ(owned.size(), static_cast<std::size_t>(shards));
+    const std::vector<int> map = lane_to_worker(owned, 9);
+    EXPECT_EQ(map[0], 0);
+    std::size_t min_lanes = 9;
+    std::size_t max_lanes = 0;
+    for (const auto& lanes : owned) {
+      min_lanes = std::min(min_lanes, lanes.size());
+      max_lanes = std::max(max_lanes, lanes.size());
+      // Deterministic per-worker order: ascending stream id.
+      EXPECT_TRUE(std::is_sorted(lanes.begin(), lanes.end()));
+    }
+    EXPECT_LE(max_lanes - min_lanes, 1u) << "shards=" << shards;
+  }
+}
+
+TEST(LaneAssignment, IsDeterministic) {
+  const std::vector<double> costs = {2.0, 3.0, 3.0, 1.0, 5.0, 1.0, 3.0};
+  const auto a = assign_lanes(7, 3, LaneAssign::kBalanced, costs);
+  const auto b = assign_lanes(7, 3, LaneAssign::kBalanced, costs);
+  EXPECT_EQ(a, b);
+}
+
+TEST(LaneAssignment, ParseRoundTripsAndRejectsGarbage) {
+  EXPECT_EQ(parse_lane_assign("round_robin"), LaneAssign::kRoundRobin);
+  EXPECT_EQ(parse_lane_assign("balanced"), LaneAssign::kBalanced);
+  EXPECT_FALSE(parse_lane_assign("fastest").has_value());
+  EXPECT_FALSE(parse_lane_assign("").has_value());
+  EXPECT_STREQ(to_string(LaneAssign::kRoundRobin), "round_robin");
+  EXPECT_STREQ(to_string(LaneAssign::kBalanced), "balanced");
+}
+
+TEST(ShardedSim, LaneWorkerReflectsTheConfiguredAssignment) {
+  ShardedSimConfig cfg = make_cfg(5, 2);
+  cfg.lane_assign = LaneAssign::kBalanced;
+  cfg.lane_costs = {1.0, 6.0, 1.0, 1.0, 1.0};
+  ShardedSimulator sim(cfg);
+  EXPECT_EQ(sim.lane_worker(0), 0);
+  EXPECT_EQ(sim.lane_worker(1), 1);  // the heavy lane got the empty worker
+  const auto owned = assign_lanes(5, 2, LaneAssign::kBalanced, cfg.lane_costs);
+  for (std::size_t w = 0; w < owned.size(); ++w) {
+    for (int lane : owned[w]) {
+      EXPECT_EQ(sim.lane_worker(lane), static_cast<int>(w));
+    }
+  }
+}
+
+TEST(ShardedSim, ScatterResultsAreAssignmentInvariant) {
+  // Same program, both placement policies, multiple worker counts: the
+  // per-lane logs must be identical — placement is wall-clock only.
+  const std::vector<LaneLog> ref = run_scatter(1);
+  for (int shards : {1, 2}) {
+    ShardedSimConfig cfg = make_cfg(3, shards);
+    cfg.lane_assign = LaneAssign::kBalanced;
+    cfg.lane_costs = {4.0, 1.0, 2.0};
+    ShardedSimulator sim(cfg);
+    std::vector<LaneLog> logs(3);
+    int acks = 0;
+    constexpr int kPings = 8;
+    for (int i = 0; i < kPings; ++i) {
+      const int node = 1 + i % 2;
+      sim.post(0, node, 10 + 5 * i, [&, i, node] {
+        logs[static_cast<std::size_t>(node)].emplace_back(
+            sim.lane(node).now(), i);
+        sim.post(node, 0, sim.lane(node).now() + 10, [&, i] {
+          logs[0].emplace_back(sim.lane(0).now(), i);
+          ++acks;
+        });
+      });
+    }
+    sim.run([&] { return acks >= kPings; });
+    for (std::size_t lane = 0; lane < logs.size(); ++lane) {
+      EXPECT_EQ(logs[lane], ref[lane])
+          << "lane " << lane << " shards=" << shards;
+    }
+  }
 }
 
 }  // namespace

@@ -83,6 +83,9 @@ namespace {
       "                    per-I/O-node lanes; 0 = classic serial engine\n"
       "                    (default: DASCHED_SHARDS, then 0); results are\n"
       "                    bit-identical for every N >= 1\n"
+      "  --lane-assign M   round_robin|balanced: lane->worker placement for\n"
+      "                    sharded runs (default: DASCHED_LANE_ASSIGN, then\n"
+      "                    balanced); wall-clock only, results identical\n"
       "  --audit           run the invariant auditor; exits 1 on violations\n"
       "  --help            this text\n",
       argv0);
@@ -171,6 +174,7 @@ int main(int argc, char** argv) {
   cfg.app = "sar";
   cfg.telemetry = telemetry_from_env();  // CLI flags below override
   cfg.shards = shards_from_env(0);
+  cfg.lane_assign = lane_assign_from_env(cfg.lane_assign);
   bool csv = false;
   bool audit = false;
   bool grid_mode = false;
@@ -216,6 +220,16 @@ int main(int argc, char** argv) {
           parse_int_or_die(value(), "--seed"));
     } else if (arg == "--shards") {
       cfg.shards = parse_int_or_die(value(), "--shards");
+    } else if (arg == "--lane-assign") {
+      const std::string v = value();
+      const auto mode = parse_lane_assign(v);
+      if (!mode) {
+        std::fprintf(stderr,
+                     "--lane-assign: expected round_robin|balanced, got '%s'\n",
+                     v.c_str());
+        return 2;
+      }
+      cfg.lane_assign = *mode;
     } else if (arg == "--audit") {
       audit = true;
     } else if (arg == "--csv") {

@@ -6,10 +6,14 @@
 // rewrites (see EXPERIMENTS.md "Bit-identity probes").
 //
 // Usage: hexfloat_probe [--procs N] [--scale F] [--shards N]
-// (defaults: 8, 0.2, 0 = classic serial engine).  Diffing `--shards 1`
-// against `--shards N` output is the tentpole check for the sharded engine:
-// the conservative-lookahead protocol promises bit-identity across worker
-// counts (DESIGN.md §14), and this probe is how CI enforces it.
+//                       [--lane-assign round_robin|balanced]
+// (defaults: 8, 0.2, 0 = classic serial engine, balanced).  Diffing
+// `--shards 1` against `--shards N` output is the tentpole check for the
+// sharded engine: the conservative-lookahead protocol promises bit-identity
+// across worker counts (DESIGN.md §14), and this probe is how CI enforces
+// it.  The same holds for the event-queue kind (run under DASCHED_QUEUE=heap
+// vs =ladder) and the lane→worker map (--lane-assign): every axis must diff
+// clean (DESIGN.md §15).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -20,7 +24,7 @@
 namespace dasched {
 namespace {
 
-int run_probe(int procs, double scale, int shards) {
+int run_probe(int procs, double scale, int shards, LaneAssign lane_assign) {
   const std::vector<std::string> apps = {"sar", "madbench2", "hf", "apsi"};
   const std::vector<PolicyKind> policies = {
       PolicyKind::kNone, PolicyKind::kSimple, PolicyKind::kHistory,
@@ -35,6 +39,7 @@ int run_probe(int procs, double scale, int shards) {
         cfg.policy = policy;
         cfg.use_scheme = scheme != 0;
         cfg.shards = shards;
+        cfg.lane_assign = lane_assign;
         const ExperimentResult r = run_experiment(cfg);
         std::printf(
             "%s %s scheme=%d exec=%lld energy=%a events=%lld "
@@ -66,6 +71,7 @@ int main(int argc, char** argv) {
   int procs = 8;
   double scale = 0.2;
   int shards = 0;
+  dasched::LaneAssign lane_assign = dasched::LaneAssign::kBalanced;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--procs" && i + 1 < argc) {
@@ -74,12 +80,20 @@ int main(int argc, char** argv) {
       scale = std::atof(argv[++i]);
     } else if (arg == "--shards" && i + 1 < argc) {
       shards = std::atoi(argv[++i]);
+    } else if (arg == "--lane-assign" && i + 1 < argc) {
+      const auto mode = dasched::parse_lane_assign(argv[++i]);
+      if (!mode) {
+        std::fprintf(stderr,
+                     "--lane-assign: expected round_robin|balanced\n");
+        return 2;
+      }
+      lane_assign = *mode;
     } else {
       std::fprintf(stderr,
                    "usage: hexfloat_probe [--procs N] [--scale F] "
-                   "[--shards N]\n");
+                   "[--shards N] [--lane-assign round_robin|balanced]\n");
       return 2;
     }
   }
-  return dasched::run_probe(procs, scale, shards);
+  return dasched::run_probe(procs, scale, shards, lane_assign);
 }
