@@ -153,7 +153,32 @@ void ShardedSimulator::init_window_state() {
     lane_touched_[s] = 0;
     tournament_.update(s, lane_next_[s]);
   }
-  for (WorkerState& ws : workers_) ws.dirty.clear();
+  // Re-derive the mailbox bookkeeping from the actual buffer contents: an
+  // early stop returns from the barrier before the pending parity drains,
+  // so a rerun on the same instance must not trust the minima/flags the
+  // previous run left behind.
+  std::fill(mail_flags_.begin(), mail_flags_.end(), 0);
+  for (WorkerState& ws : workers_) {
+    ws.dirty.clear();
+    ws.out_mail_min[0] = SimTime::max();
+    ws.out_mail_min[1] = SimTime::max();
+  }
+  const auto account = [this](int from, int to, const Mailbox& box) {
+    const int sender_w = lane_worker_[static_cast<std::size_t>(from)];
+    const int receiver_w = lane_worker_[static_cast<std::size_t>(to)];
+    WorkerState& ws = workers_[static_cast<std::size_t>(sender_w)];
+    for (int p = 0; p < 2; ++p) {
+      if (box.buf[p].empty()) continue;
+      for (const MailEntry& e : box.buf[p]) {
+        if (e.time < ws.out_mail_min[p]) ws.out_mail_min[p] = e.time;
+      }
+      set_mail_flag(sender_w, receiver_w, p, true);
+    }
+  };
+  for (int s = 1; s < num_streams(); ++s) {
+    account(0, s, to_node_[static_cast<std::size_t>(s)]);
+    account(s, 0, to_client_[static_cast<std::size_t>(s)]);
+  }
 }
 
 void ShardedSimulator::plan() noexcept {
@@ -178,13 +203,24 @@ void ShardedSimulator::plan() noexcept {
     }
     ws.dirty.clear();
   }
+  // The parity drained last window is about to become the write side
+  // again; its buffers are empty, so its minima reset with them — and the
+  // reset must precede the minimum below, or a stale min from mail that
+  // already drained would key a spurious extra window.  (On the stop paths
+  // above the reset is skipped; init_window_state() re-derives everything
+  // from the buffers at the next run.)
+  for (WorkerState& ws : workers_) {
+    ws.out_mail_min[1 - write_parity_] = SimTime::max();
+  }
   // Undrained mailbox entries count too: with every lane queue empty an
   // in-flight cross-shard event is still pending work, not a deadlock.
-  // Only the write parity can hold entries (the other was drained last
-  // window), and the senders' running minima stand in for scanning them.
+  // The senders' running minima stand in for scanning the buffers; only
+  // the write parity can hold entries now, so counting both parities costs
+  // nothing and keeps the plan honest against whatever init_window_state()
+  // re-derived after an early-stopped previous run.
   SimTime m = tournament_.min();
   for (const WorkerState& ws : workers_) {
-    m = std::min(m, ws.out_mail_min[write_parity_]);
+    m = std::min({m, ws.out_mail_min[0], ws.out_mail_min[1]});
   }
   assert(m == debug_min_pending_time() && "incremental minimum drifted");
   if (m == std::numeric_limits<SimTime>::max()) {
@@ -195,11 +231,6 @@ void ShardedSimulator::plan() noexcept {
     return;
   }
   window_end_ = m + cfg_.lookahead;
-  // The parity drained last window is about to become the write side
-  // again; its buffers are empty, so its minima reset with them.
-  for (WorkerState& ws : workers_) {
-    ws.out_mail_min[1 - write_parity_] = SimTime::max();
-  }
   write_parity_ = 1 - write_parity_;
   ++windows_run_;
 }
@@ -233,7 +264,17 @@ void ShardedSimulator::drain_worker(int worker) {
     auto& buf = box.buf[drain_parity_];
     if (buf.empty()) return;
     Simulator& l = lane(stream);
-    for (MailEntry& e : buf) l.inject(e.time, e.seq, std::move(e.fn));
+    SimTime& next = lane_next_[static_cast<std::size_t>(stream)];
+    for (MailEntry& e : buf) {
+      // Fold the mail into the cached next-event time as it lands, so the
+      // run gate below sees an exact value.  Mail can sit below window_end_
+      // — precisely when it was the minimum the planner keyed the window on
+      // (window_end_ = mail time + lookahead, e.g. an idle node taking its
+      // first request) — and a stale cache would skip the lane, running the
+      // event one window late and breaking the exact window sequence.
+      if (e.time < next) next = e.time;
+      l.inject(e.time, e.seq, std::move(e.fn));
+    }
     buf.clear();
     lane_touched_[static_cast<std::size_t>(stream)] = 1;
   };
@@ -255,9 +296,10 @@ void ShardedSimulator::run_worker_window(int worker) {
   const std::vector<int>& mine = owned_[static_cast<std::size_t>(worker)];
   drain_worker(worker);
   for (int stream : mine) {
-    // The cached next-event time is exact (its owner refreshed it after
-    // every touch), so lanes with nothing inside the window are skipped
-    // without touching their queue memory.
+    // The cached next-event time is exact — the owner refreshed it at the
+    // end of the last window and drain_worker just folded in any injected
+    // mail — so lanes with nothing inside the window are skipped without
+    // touching their queue memory.
     if (lane_next_[static_cast<std::size_t>(stream)] < window_end_) {
       lane_touched_[static_cast<std::size_t>(stream)] = 1;
       lane(stream).run_window(window_end_);

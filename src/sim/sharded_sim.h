@@ -163,7 +163,9 @@ class ShardedSimulator {
   /// inside the barrier and must not throw.  After the run every lane's
   /// clock is stamped to the end of the last executed window, so trailing
   /// idle accrual is deterministic and shard-count invariant.  Returns the
-  /// final common time.
+  /// final common time.  May be called again on the same instance: mail an
+  /// early stop left undrained is re-accounted from the buffers at the
+  /// start of the next run.
   SimTime run(const std::function<bool()>& stop_when);
 
   /// True when the last `run` stopped because every lane drained before

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <stdexcept>
 #include <utility>
@@ -96,6 +97,76 @@ TEST(ShardedSim, WindowsSkipIdleGaps) {
   sim.run([&] { return fired == 2; });
   EXPECT_EQ(fired, 2);
   EXPECT_LE(sim.windows_run(), 3);
+}
+
+TEST(ShardedSim, DrainedMailRunsInThePlannedWindow) {
+  // A first-ever send to an idle node is the global minimum the planner
+  // keyed the window on (window_end = mail time + lookahead), so the
+  // drained event must run inside that same window — not slip one window
+  // because the receiving lane's cached next-event time was stale at the
+  // gate.  Node 2 sits on worker 1 at shards=2 (round robin), forcing the
+  // mailbox drain path.
+  for (int shards : {1, 2}) {
+    ShardedSimulator sim(make_cfg(/*streams=*/3, shards));
+    SimTime fired_at = 0;
+    bool done = false;
+    sim.post(0, 2, 10, [&] {
+      fired_at = sim.lane(2).now();
+      done = true;
+    });
+    const SimTime end = sim.run([&] { return done; });
+    EXPECT_EQ(fired_at, 10) << "shards=" << shards;
+    EXPECT_EQ(sim.windows_run(), 1) << "shards=" << shards;
+    EXPECT_EQ(end, 20) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedSim, WindowSequenceIsWorkerCountInvariant) {
+  // Tightest-legal ping-pong across a true cross-worker mailbox: every hop
+  // lands exactly at the next window's keying minimum, so any stale-cache
+  // skip doubles the window count.  The documented invariant is the *exact*
+  // window sequence for every worker count, which windows_run() witnesses.
+  const auto run_chain = [](int shards) {
+    ShardedSimulator sim(make_cfg(/*streams=*/3, shards));
+    int rounds = 0;
+    constexpr int kRounds = 4;
+    std::function<void(SimTime)> ping = [&](SimTime t) {
+      sim.post(0, 2, t, [&, t] {
+        sim.post(2, 0, t + 10, [&] {
+          if (++rounds < kRounds) ping(sim.lane(0).now() + 10);
+        });
+      });
+    };
+    ping(10);
+    const SimTime end = sim.run([&] { return rounds >= kRounds; });
+    return std::pair<SimTime, std::int64_t>(end, sim.windows_run());
+  };
+  const auto serial = run_chain(1);
+  const auto threaded = run_chain(2);
+  EXPECT_EQ(serial.first, threaded.first);
+  EXPECT_EQ(serial.second, threaded.second);
+  EXPECT_EQ(serial.second, 8);  // two windows per round, no slipped drains
+}
+
+TEST(ShardedSim, RerunAfterEarlyStopDeliversLeftoverMail) {
+  // An early stop returns from the barrier with posted mail still sitting
+  // in the pending parity; a second run() on the same instance must
+  // re-account that mail from the buffers and deliver it.
+  for (int shards : {1, 2}) {
+    ShardedSimulator sim(make_cfg(/*streams=*/3, shards));
+    bool posted = false;
+    bool delivered = false;
+    sim.lane(0).schedule_at(5, [&] {
+      posted = true;
+      sim.post(0, 2, 30, [&] { delivered = true; });
+    });
+    sim.run([&] { return posted; });
+    EXPECT_FALSE(delivered) << "shards=" << shards;
+    const SimTime end = sim.run([&] { return delivered; });
+    EXPECT_TRUE(delivered) << "shards=" << shards;
+    EXPECT_EQ(end, 40) << "shards=" << shards;  // window keyed on t=30
+    EXPECT_EQ(sim.lane(2).now(), sim.lane(0).now());
+  }
 }
 
 TEST(ShardedSim, DrainingWithoutStopIsDeadlock) {
