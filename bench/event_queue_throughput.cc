@@ -12,14 +12,13 @@
 // Knobs (strictly parsed): DASCHED_BENCH_REPS (default 5),
 // DASCHED_BENCH_EVENTS (events per repetition, default 2'000'000).
 #include <time.h>
-#include <unistd.h>
 
-#include <algorithm>
 #include <cstdint>
 #include <cstdio>
-#include <thread>
+#include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "engine/env_knobs.h"
 #include "sim/simulator.h"
 
@@ -103,12 +102,6 @@ struct Workload {
   int chains;
 };
 
-double median(std::vector<double> v) {
-  std::sort(v.begin(), v.end());
-  const std::size_t n = v.size();
-  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
-}
-
 /// Thread CPU time: the benchmark is single-threaded and deterministic, so
 /// CPU seconds are the signal; wall-clock would fold in whatever else the
 /// host is running (CI machines are rarely quiet).
@@ -140,13 +133,10 @@ int main() {
       {"bimodal_horizons/64", &run_bimodal, 64},
   };
 
-  std::printf("{\n");
-  std::printf("  \"name\": \"event_queue\",\n");
-  std::printf("  \"workload\": {\"events_per_rep\": %lld, \"reps\": %d},\n",
-              static_cast<long long>(events), reps);
-  std::printf("  \"host_cores\": %u,\n", std::thread::hardware_concurrency());
-  std::printf("  \"nproc\": %ld,\n", sysconf(_SC_NPROCESSORS_ONLN));
-  std::printf("  \"workloads\": [\n");
+  bench::ThroughputJsonWriter json(
+      "event_queue",
+      "\"events_per_rep\": " + std::to_string(static_cast<long long>(events)),
+      reps, "workloads");
   for (std::size_t i = 0; i < workloads.size(); ++i) {
     const Workload& w = workloads[i];
     double med[2] = {0, 0};
@@ -155,20 +145,23 @@ int main() {
       for (int rep = 0; rep < reps; ++rep) {
         seconds.push_back(time_one(w, kind, events));
       }
-      med[kind == QueueKind::kLadder ? 1 : 0] = median(seconds);
+      med[kind == QueueKind::kLadder ? 1 : 0] = bench::median_seconds(seconds);
     }
     const double speedup = med[1] > 0 ? med[0] / med[1] : 0.0;
     std::fprintf(stderr,
                  "[%s] heap %.3fs, ladder %.3fs (%.2fx, %.0f ev/s)\n", w.name,
                  med[0], med[1], speedup,
                  static_cast<double>(events) / med[1]);
-    std::printf(
-        "    {\"workload\": \"%s\", \"heap_median_seconds\": %.4f, "
-        "\"ladder_median_seconds\": %.4f, \"ladder_events_per_sec\": %.0f, "
-        "\"ladder_speedup_vs_heap\": %.3f}%s\n",
-        w.name, med[0], med[1], static_cast<double>(events) / med[1], speedup,
-        i + 1 < workloads.size() ? "," : "");
+    char fields[256];
+    std::snprintf(fields, sizeof(fields),
+                  "\"workload\": \"%s\", \"heap_median_seconds\": %.4f, "
+                  "\"ladder_median_seconds\": %.4f, "
+                  "\"ladder_events_per_sec\": %.0f, "
+                  "\"ladder_speedup_vs_heap\": %.3f",
+                  w.name, med[0], med[1],
+                  static_cast<double>(events) / med[1], speedup);
+    json.row(fields, i + 1 == workloads.size());
   }
-  std::printf("  ]\n}\n");
+  json.finish();
   return 0;
 }

@@ -10,14 +10,11 @@
 // Knobs (strictly parsed): DASCHED_BENCH_SCALE (default 0.05),
 // DASCHED_BENCH_PROCS (default 512), DASCHED_BENCH_NODES (default 64),
 // DASCHED_BENCH_REPS (default 5).
-#include <unistd.h>
-
-#include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "driver/experiment.h"
 #include "engine/env_knobs.h"
 
@@ -48,12 +45,6 @@ Sample run_once(int shards, int nodes, int procs, double scale) {
   return s;
 }
 
-double median(std::vector<double> v) {
-  std::sort(v.begin(), v.end());
-  const std::size_t n = v.size();
-  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
-}
-
 }  // namespace
 
 int main() {
@@ -61,18 +52,13 @@ int main() {
   const int procs = env_int("DASCHED_BENCH_PROCS", 512);
   const double scale = env_double("DASCHED_BENCH_SCALE", 0.05);
   const int reps = env_int("DASCHED_BENCH_REPS", 5);
-  const unsigned cores = std::thread::hardware_concurrency();
 
-  std::printf("{\n");
-  std::printf("  \"name\": \"sim_shard\",\n");
-  std::printf(
-      "  \"workload\": {\"app\": \"sar\", \"policy\": \"history\", "
-      "\"scheme\": true, \"nodes\": %d, \"procs\": %d, \"scale\": %g, "
-      "\"reps\": %d},\n",
-      nodes, procs, scale, reps);
-  std::printf("  \"host_cores\": %u,\n", cores);
-  std::printf("  \"nproc\": %ld,\n", sysconf(_SC_NPROCESSORS_ONLN));
-  std::printf("  \"settings\": [\n");
+  char workload[192];
+  std::snprintf(workload, sizeof(workload),
+                "\"app\": \"sar\", \"policy\": \"history\", \"scheme\": true, "
+                "\"nodes\": %d, \"procs\": %d, \"scale\": %g",
+                nodes, procs, scale);
+  bench::ThroughputJsonWriter json("sim_shard", workload, reps, "settings");
 
   double serial_median = 0;
   const std::vector<int> settings = {0, 1, 2, 4};
@@ -85,19 +71,21 @@ int main() {
       seconds.push_back(s.seconds);
       events = s.events;
     }
-    const double med = median(seconds);
+    const double med = bench::median_seconds(seconds);
     if (shards == 1) serial_median = med;
     const double speedup = serial_median > 0 ? serial_median / med : 0.0;
     std::fprintf(stderr, "[shards=%d] median %.3fs, %lld events (%.0f ev/s)\n",
                  shards, med, static_cast<long long>(events),
                  static_cast<double>(events) / med);
-    std::printf(
-        "    {\"shards\": %d, \"median_seconds\": %.4f, \"events\": %lld, "
-        "\"events_per_sec\": %.0f, \"speedup_vs_shards1\": %.3f}%s\n",
-        shards, med, static_cast<long long>(events),
-        static_cast<double>(events) / med, speedup,
-        i + 1 < settings.size() ? "," : "");
+    char fields[192];
+    std::snprintf(fields, sizeof(fields),
+                  "\"shards\": %d, \"median_seconds\": %.4f, "
+                  "\"events\": %lld, \"events_per_sec\": %.0f, "
+                  "\"speedup_vs_shards1\": %.3f",
+                  shards, med, static_cast<long long>(events),
+                  static_cast<double>(events) / med, speedup);
+    json.row(fields, i + 1 == settings.size());
   }
-  std::printf("  ]\n}\n");
+  json.finish();
   return 0;
 }

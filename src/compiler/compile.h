@@ -31,6 +31,11 @@ struct CompileOptions {
   /// Optional passive tap on per-access placements (telemetry).  Not owned;
   /// attached to the AccessScheduler for the duration of the compile.
   SchedulerObserver* sched_observer = nullptr;
+
+  /// Member-wise (the observer compares by address); lets compile caches
+  /// key on "would this produce the same output".
+  friend bool operator==(const CompileOptions&, const CompileOptions&) =
+      default;
 };
 
 struct Compiled {

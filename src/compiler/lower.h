@@ -20,6 +20,8 @@ struct LowerOptions {
   int granularity = 1;
   /// Safety valve against runaway iteration spaces.
   std::int64_t max_slots_per_process = 2'000'000;
+
+  friend bool operator==(const LowerOptions&, const LowerOptions&) = default;
 };
 
 /// Unrolls `program` for each of `num_processes` processes (binding p and P)

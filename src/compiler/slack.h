@@ -29,6 +29,8 @@ struct SlackOptions {
   /// Upper bound on slack window size, mirroring the bounded lookahead a
   /// real runtime buffer affords.  0 = unbounded.
   Slot max_slack = 0;
+
+  friend bool operator==(const SlackOptions&, const SlackOptions&) = default;
 };
 
 /// Tracks, per file, which byte ranges were last written at which slot.

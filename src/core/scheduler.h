@@ -77,6 +77,9 @@ struct ScheduleOptions {
   /// 0 examines every slot.
   int max_candidates = 128;
   std::uint64_t seed = 42;
+
+  friend bool operator==(const ScheduleOptions&, const ScheduleOptions&) =
+      default;
 };
 
 /// Aggregate statistics of one scheduling run.

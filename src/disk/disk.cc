@@ -40,6 +40,45 @@ Disk::Disk(Simulator& sim, DiskParams params, std::uint64_t seed)
       stream_idle_since_(sim.now()),
       last_accrue_(sim.now()) {}
 
+void Disk::reset(const DiskParams& params, std::uint64_t seed) {
+  params_ = params;
+  power_ = PowerModel(params);
+  rng_.reseed(seed);
+  state_ = DiskState::kIdle;
+  rpm_ = params.max_rpm;
+  desired_rpm_ = params.max_rpm;
+  transition_from_ = 0;
+  transition_to_ = 0;
+  spin_up_pending_ = false;
+  spin_down_started_ = 0;
+  spin_down_event_ = EventHandle();
+  queue_.clear();
+  background_queue_.clear();
+  sweep_up_ = true;
+  head_pos_ = 0;
+  in_service_complete_ = EventFn();
+  stream_idle_ = true;
+  stream_idle_since_ = sim_.now();
+  last_accrue_ = sim_.now();
+  // Zero the stats in place: everything but the histogram is scalar, and
+  // the histogram keeps its bucket storage across clear().  (No DiskStats{}
+  // temporary — its histogram member would allocate on every reset.)
+  stats_.energy_j = Joules{};
+  stats_.energy_by_state_j.fill(Joules{});
+  stats_.requests = 0;
+  stats_.reads = 0;
+  stats_.writes = 0;
+  stats_.bytes_read = 0;
+  stats_.bytes_written = 0;
+  stats_.spin_downs = 0;
+  stats_.spin_ups = 0;
+  stats_.rpm_changes = 0;
+  stats_.busy_time = 0;
+  stats_.time_below_max_rpm = 0;
+  stats_.time_in_standby = 0;
+  stats_.idle_periods.clear();
+}
+
 void Disk::set_policy(PowerPolicy* policy) {
   policy_ = policy;
   if (policy_ != nullptr) policy_->attach(*this);

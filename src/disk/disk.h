@@ -83,6 +83,13 @@ class PowerPolicy {
   /// the policy can request a speed change or spin-up first.
   virtual void on_request_arrival() {}
 
+  /// Forgets every timer, prediction and cooldown so the policy behaves
+  /// exactly like a freshly constructed instance on its next run.  Any
+  /// `EventHandle` a policy holds is already inert after the owning
+  /// simulator's reset, so dropping it is safe.  Must not allocate — the
+  /// workspace reuses policies in place on the zero-allocation path.
+  virtual void reset() {}
+
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Detaches every observer, then attaches `observer` (null = detach all).
@@ -266,6 +273,16 @@ class Disk {
   [[nodiscard]] std::size_t queue_depth() const {
     return queue_.size() + background_queue_.size();
   }
+
+  /// Restores the constructor postcondition for a new run — spinning idle
+  /// at `params.max_rpm`, empty elevator queues (arrival counters rewound),
+  /// RNG reseeded, zeroed statistics — while keeping queue slabs and
+  /// histogram buckets warm so reuse allocates nothing.  Must run after the
+  /// owning simulator's reset (the idle/accrual clocks restart at
+  /// `sim.now()`, which a reset simulator reads as 0); any `EventHandle`
+  /// the disk held is already inert by then.  The attached policy and
+  /// observers are left alone: the owning node re-wires both per run.
+  void reset(const DiskParams& params, std::uint64_t seed);
 
   /// Accrues energy up to the current instant and returns the statistics.
   /// Call once at end of simulation (idempotent at a fixed time).

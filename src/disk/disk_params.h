@@ -72,11 +72,22 @@ struct DiskParams {
     return p;
   }
 
-  /// Available speed ladder, ascending.  {max_rpm} when !multi_speed.
+  /// Visits the available speed ladder, ascending; just `max_rpm` when
+  /// !multi_speed.  Allocation-free — the per-decision path of the
+  /// multi-speed policies walks the ladder on every idle boundary.
+  template <typename Visitor>
+  void for_each_rpm_level(Visitor&& visit) const {
+    if (!multi_speed) {
+      visit(max_rpm);
+      return;
+    }
+    for (Rpm r = min_rpm; r <= max_rpm; r += rpm_step) visit(r);
+  }
+
+  /// Materialized speed ladder, for tests and tools.
   [[nodiscard]] std::vector<Rpm> rpm_levels() const {
-    if (!multi_speed) return {max_rpm};
     std::vector<Rpm> out;
-    for (Rpm r = min_rpm; r <= max_rpm; r += rpm_step) out.push_back(r);
+    for_each_rpm_level([&out](Rpm r) { out.push_back(r); });
     return out;
   }
 

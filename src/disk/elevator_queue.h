@@ -25,6 +25,17 @@ class ElevatorQueue {
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
+  /// Drops every queued request and rewinds the arrival counter, keeping
+  /// index/slab/free-list capacity warm.  Zeroing `next_seq_` matters for
+  /// cross-run bit-identity: it breaks FIFO ties among equal offsets, so a
+  /// reused queue must tie-break exactly like a fresh one.
+  void clear() {
+    entries_.clear();
+    slab_.clear();
+    free_slots_.clear();
+    next_seq_ = 0;
+  }
+
   /// Enqueues a request keyed by its disk offset (FIFO among equal offsets).
   DASCHED_HOT void push(Bytes offset, Request req) {
     std::uint32_t slot;

@@ -1,44 +1,11 @@
 #include "driver/experiment.h"
 
-#include <cmath>
-#include <filesystem>
-#include <fstream>
-#include <memory>
 #include <stdexcept>
+#include <string>
 
-#include "check/install.h"
-#include "telemetry/analytics.h"
-#include "telemetry/export.h"
-#include "telemetry/install.h"
-#include "telemetry/trace_io.h"
+#include "driver/workspace.h"
 
 namespace dasched {
-
-namespace {
-
-/// Relative tolerance between the telemetry energy-by-state aggregate and
-/// the run's scalar total.  Both sum the exact same accrual terms; only the
-/// cross-disk/cross-state addition order differs, so anything beyond
-/// re-association noise is a genuine telemetry bug.
-constexpr double kEnergyRelEps = 1e-9;
-
-void write_telemetry_artifacts(const std::string& dir,
-                               const TraceBuffer& buffer, const TraceMeta& meta,
-                               const TelemetrySummary& summary) {
-  std::filesystem::create_directories(dir);
-  if (!save_trace(dir + "/trace.bin", buffer, meta)) {
-    throw std::runtime_error("telemetry: cannot write " + dir + "/trace.bin");
-  }
-  std::ofstream sj(dir + "/summary.json");
-  std::ofstream cj(dir + "/trace.json");
-  if (!sj || !cj) {
-    throw std::runtime_error("telemetry: cannot open outputs under " + dir);
-  }
-  write_summary_json(sj, summary);
-  write_chrome_trace(cj, buffer, meta);
-}
-
-}  // namespace
 
 std::vector<double> default_lane_costs(const StorageConfig& storage,
                                        const WorkloadScale& scale) {
@@ -102,198 +69,20 @@ void validate_experiment_topology(const ExperimentConfig& cfg) {
   }
 }
 
+// The classic entry points build the stack fresh per call by running a
+// single-use workspace: the workspace's first run constructs every component
+// the same way the pre-workspace code did (and bit-identity of reuse makes
+// the distinction unobservable anyway — see DESIGN.md §16).
+
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
-  if (!cfg.audit) return run_experiment(cfg, nullptr);
-  // Internal auditor: a violation is a fatal correctness bug, so surface the
-  // report as an exception rather than as statistics.
-  SimAuditor auditor;
-  ExperimentResult out = run_experiment(cfg, &auditor);
-  if (!auditor.clean()) {
-    throw std::runtime_error("experiment '" + cfg.app +
-                             "' failed its invariant audit:\n" +
-                             auditor.report());
-  }
-  return out;
+  ExperimentWorkspace ws;
+  return ws.run(cfg);
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg,
                                 SimAuditor* auditor) {
-  validate_experiment_topology(cfg);
-  const bool is_sharded = cfg.shards > 0;
-
-  // The client-facing lane: lane 0 of the sharded engine, or the lone
-  // classic simulator.  Everything client-side (cluster, compile, routing)
-  // talks to this lane only.
-  std::unique_ptr<ShardedSimulator> sharded;
-  std::unique_ptr<Simulator> serial;
-  const std::size_t reserve = default_event_reserve(cfg.storage, cfg.scale);
-  if (is_sharded) {
-    ShardedSimConfig scfg;
-    scfg.num_streams = 1 + cfg.storage.num_io_nodes;
-    scfg.shards = cfg.shards;
-    scfg.lookahead = cfg.storage.network_latency;
-    scfg.lane_assign = cfg.lane_assign;
-    scfg.lane_costs = default_lane_costs(cfg.storage, cfg.scale);
-    sharded = std::make_unique<ShardedSimulator>(scfg);
-    // Every lane gets the full-topology bound: generous (a node lane holds
-    // only its node's events) but cheap, and it keeps the steady state of
-    // every lane allocation-free regardless of the lane→worker map.
-    for (int s = 0; s < scfg.num_streams; ++s) {
-      sharded->lane(s).reserve_events(reserve);
-    }
-  } else {
-    serial = std::make_unique<Simulator>();
-    serial->reserve_events(reserve);
-  }
-  Simulator& sim = is_sharded ? sharded->lane(0) : *serial;
-
-  StorageConfig storage_cfg = cfg.storage;
-  storage_cfg.node.policy = cfg.policy;
-  storage_cfg.node.policy_cfg = cfg.policy_cfg;
-  storage_cfg.seed = cfg.seed;
-  std::optional<StorageSystem> storage_holder;
-  if (is_sharded) {
-    storage_holder.emplace(*sharded, storage_cfg);
-  } else {
-    storage_holder.emplace(sim, storage_cfg);
-  }
-  StorageSystem& storage = *storage_holder;
-
-  // Hook the auditor in before anything can schedule an event, so the
-  // event-queue ledger sees the complete history.  A sharded run gets one
-  // auditor per lane (merged after the workers stop) so every check stays
-  // on its lane's thread.
-  InstalledChecks checks;
-  ShardedAuditLanes audit_lanes;
-  if (auditor != nullptr) {
-    if (is_sharded) {
-      install_audit_sharded(audit_lanes, *sharded, storage, cfg.policy,
-                            cfg.policy_cfg);
-    } else {
-      checks =
-          install_audit(*auditor, sim, storage, cfg.policy, cfg.policy_cfg);
-    }
-  }
-
-  // The telemetry recorder attaches beside the audit checks (every layer
-  // multiplexes observers) and is strictly passive.  Sharded runs record
-  // one trace per lane and merge them deterministically after the run.
-  std::unique_ptr<TelemetryRecorder> recorder;
-  std::vector<std::unique_ptr<TelemetryRecorder>> lane_recorders;
-  TelemetryRecorder* client_recorder = nullptr;
-  if (cfg.telemetry.enabled()) {
-    if (is_sharded) {
-      install_telemetry_sharded(lane_recorders, cfg.telemetry.level, *sharded,
-                                storage);
-      client_recorder = lane_recorders[0].get();
-    } else {
-      recorder = std::make_unique<TelemetryRecorder>(cfg.telemetry.level);
-      install_telemetry(*recorder, sim, storage);
-      client_recorder = recorder.get();
-    }
-    TraceMeta& meta = client_recorder->meta();
-    meta.app = cfg.app;
-    meta.policy = static_cast<int>(cfg.policy);
-    meta.scheme = cfg.use_scheme;
-  }
-
-  const App& app = app_by_name(cfg.app);
-  CompiledProgram trace = app.build(storage.striping(), cfg.scale);
-
-  CompileOptions copts = cfg.compile;
-  copts.enable_scheduling = cfg.use_scheme;
-  copts.slack.length_unit = app.length_unit;
-  copts.slack.max_slack = cfg.max_slack;
-  if (client_recorder != nullptr &&
-      client_recorder->level() >= TraceLevel::kFull) {
-    copts.sched_observer = client_recorder;
-  }
-  Compiled compiled = compile_trace(std::move(trace), storage.striping(), copts);
-  if (auditor != nullptr) {
-    audit_compiled(*auditor, compiled, copts.sched, copts.enable_scheduling);
-  }
-
-  RuntimeConfig rt = cfg.runtime;
-  rt.use_runtime_scheduler = cfg.use_scheme;
-  Cluster cluster(sim, storage, compiled, rt);
-  // Run until the application completes; power-policy timers may keep the
-  // event queue alive past that point, and accounting must stop at the
-  // application's end (the paper's energies cover program execution).  The
-  // sharded engine checks the stop predicate at window barriers, so it
-  // stops at the end of the window containing the last finish — a bounded
-  // (< lookahead), deterministic tail shared by every shard count.
-  if (is_sharded) {
-    cluster.start();
-    sharded->run([&cluster] { return cluster.all_finished(); });
-  } else {
-    cluster.run_to_completion();
-  }
-
-  if (!cluster.all_finished()) {
-    throw std::runtime_error("experiment '" + cfg.app +
-                             "': simulation drained but clients are stuck");
-  }
-
-  ExperimentResult out;
-  out.app = cfg.app;
-  out.policy = cfg.policy;
-  out.scheme = cfg.use_scheme;
-  out.exec_time = cluster.exec_time();
-  out.storage = storage.finalize();
-  out.energy_j = out.storage.energy_j;
-  out.runtime = cluster.stats();
-  out.sched = compiled.sched_stats;
-  out.events = is_sharded ? sharded->events_executed() : sim.events_executed();
-
-  if (client_recorder != nullptr) {
-    // finalize() above fired the trailing accruals, so the trace now tiles
-    // every disk's timeline completely.
-    client_recorder->meta().end_time = sim.now();
-    TraceBuffer merged;
-    const TraceBuffer* buffer = &client_recorder->buffer();
-    if (is_sharded) {
-      std::vector<const TraceBuffer*> lanes;
-      lanes.reserve(lane_recorders.size());
-      for (const auto& r : lane_recorders) lanes.push_back(&r->buffer());
-      merge_traces(lanes, merged);
-      buffer = &merged;
-    }
-    auto summary = std::make_shared<TelemetrySummary>(
-        analyze_trace(*buffer, client_recorder->meta()));
-
-    // Reconcile the energy-by-state breakdown against the scalar total.
-    // Under an auditor this extends the energy-conservation invariant;
-    // without one a divergence is a fatal telemetry bug.
-    EnergyConservationCheck* energy_check =
-        is_sharded ? audit_lanes.energy : checks.energy;
-    if (energy_check != nullptr) {
-      if (is_sharded) merge_sharded_ledgers(audit_lanes);
-      energy_check->cross_check_aggregate(summary->energy_by_state_j,
-                                          out.energy_j, sim.now());
-    }
-    const double scale = std::max(std::fabs(out.energy_j.value()), 1.0);
-    if (std::fabs((summary->energy_total_j - out.energy_j).value()) >
-        kEnergyRelEps * scale) {
-      throw std::runtime_error(
-          "telemetry: energy-by-state breakdown diverges from the scalar "
-          "total for experiment '" +
-          cfg.app + "'");
-    }
-
-    if (!cfg.telemetry.dir.empty()) {
-      write_telemetry_artifacts(cfg.telemetry.dir, *buffer,
-                                client_recorder->meta(), *summary);
-    }
-    out.telemetry = std::move(summary);
-  }
-
-  if (auditor != nullptr) {
-    if (is_sharded) finalize_audit_sharded(audit_lanes, *auditor);
-    auditor->finalize();
-    out.audited = true;
-    out.audit_violations = auditor->violations_total();
-  }
-  return out;
+  ExperimentWorkspace ws;
+  return ws.run(cfg, auditor);
 }
 
 }  // namespace dasched

@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "driver/workspace.h"
 #include "engine/env_knobs.h"
 
 namespace dasched {
@@ -63,7 +64,8 @@ int resolve_grid_threads(int requested) {
 
 namespace {
 
-ExperimentResult run_cell(const GridCell& cell, const GridRunOptions& opts) {
+ExperimentResult run_cell(const GridCell& cell, const GridRunOptions& opts,
+                          ExperimentWorkspace* ws) {
   ExperimentConfig cfg = cell.config;
   cfg.audit = cfg.audit || opts.audit;
   if (opts.telemetry.enabled()) {
@@ -72,7 +74,7 @@ ExperimentResult run_cell(const GridCell& cell, const GridRunOptions& opts) {
       cfg.telemetry.dir += "/cell_" + std::to_string(cell.index);
     }
   }
-  return run_experiment(cfg);
+  return ws != nullptr ? run_experiment(cfg, *ws) : run_experiment(cfg);
 }
 
 }  // namespace
@@ -87,10 +89,14 @@ GridResultSet run_grid(const ExperimentGrid& grid,
   if (static_cast<std::size_t>(threads) > cells.size()) {
     threads = static_cast<int>(cells.size());
   }
+  const bool use_workspace =
+      opts.workspace < 0 ? workspace_from_env(true) : opts.workspace != 0;
 
   if (threads <= 1) {
+    ExperimentWorkspace ws;
     for (std::size_t i = 0; i < cells.size(); ++i) {
-      results[i].result = run_cell(cells[i], opts);
+      results[i].result =
+          run_cell(cells[i], opts, use_workspace ? &ws : nullptr);
       if (opts.on_cell_done) opts.on_cell_done(cells[i]);
     }
     return GridResultSet{std::move(results)};
@@ -102,11 +108,15 @@ GridResultSet run_grid(const ExperimentGrid& grid,
   std::exception_ptr first_error;
 
   auto worker = [&] {
+    // One warm workspace per worker thread: O(threads) stack constructions
+    // for the whole grid instead of O(cells).
+    ExperimentWorkspace ws;
     while (!stop.load(std::memory_order_relaxed)) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= cells.size()) break;
       try {
-        results[i].result = run_cell(cells[i], opts);
+        results[i].result =
+            run_cell(cells[i], opts, use_workspace ? &ws : nullptr);
         if (opts.on_cell_done) {
           const std::lock_guard<std::mutex> lock(mu);
           opts.on_cell_done(cells[i]);

@@ -24,6 +24,15 @@ ClientProcess::ClientProcess(Cluster& cluster, int pid)
 
 void ClientProcess::start() { begin_slot(); }
 
+void ClientProcess::reset() {
+  current_ = 0;
+  completed_ = 0;
+  finished_ = false;
+  finish_time_ = 0;
+  waiters_.clear();
+  ready_scratch_.clear();
+}
+
 void ClientProcess::subscribe_progress(Slot needed, std::function<void()> cb) {
   if (completed_ >= needed || finished_) {
     cb();
@@ -45,10 +54,12 @@ void ClientProcess::begin_slot() {
   if (current_ >= static_cast<Slot>(slots.size())) {
     finished_ = true;
     finish_time_ = cluster_.sim().now();
-    // Release anyone still waiting on this process's progress.
-    auto waiters = std::move(waiters_);
+    // Release anyone still waiting on this process's progress.  With
+    // `finished_` already set, a re-entrant subscribe_progress fires its
+    // callback immediately instead of appending, so iterating in place is
+    // safe — and clear() keeps the vector's capacity for the next run.
+    for (auto& [needed, cb] : waiters_) cb();
     waiters_.clear();
-    for (auto& [needed, cb] : waiters) cb();
     return;
   }
 
@@ -138,8 +149,11 @@ void ClientProcess::after_ops() {
 
 void ClientProcess::finish_slot() {
   completed_ = ++current_;
-  // Fire matured progress subscriptions.
-  std::vector<std::function<void()>> ready;
+  // Fire matured progress subscriptions.  The staging vector is swapped out
+  // of a member so its storage is reused run after run; taking it by value
+  // keeps a (hypothetical) re-entrant finish_slot from clobbering the walk.
+  std::vector<std::function<void()>> ready = std::move(ready_scratch_);
+  ready.clear();
   std::erase_if(waiters_, [this, &ready](auto& w) {
     if (w.first <= completed_) {
       ready.push_back(std::move(w.second));
@@ -148,6 +162,8 @@ void ClientProcess::finish_slot() {
     return false;
   });
   for (auto& cb : ready) cb();
+  ready.clear();
+  ready_scratch_ = std::move(ready);
 }
 
 // ---------------------------------------------------------------------------
@@ -225,10 +241,11 @@ Cluster::Cluster(Simulator& sim, StorageSystem& storage, const Compiled& compile
                  RuntimeConfig cfg)
     : sim_(sim),
       storage_(storage),
-      compiled_(compiled),
+      compiled_(&compiled),
       cfg_(cfg),
       buffer_(cfg.buffer_capacity) {
-  const int nproc = compiled_.program.num_processes();
+  buffer_.reset(cfg_.buffer_capacity, compiled_->program.read_sites.size());
+  const int nproc = compiled_->program.num_processes();
   for (int p = 0; p < nproc; ++p) {
     clients_.push_back(std::make_unique<ClientProcess>(*this, p));
   }
@@ -237,12 +254,50 @@ Cluster::Cluster(Simulator& sim, StorageSystem& storage, const Compiled& compile
       schedulers_.push_back(std::make_unique<SchedulerThread>(*this, p));
     }
   }
-  for (std::size_t i = 0; i < compiled_.program.read_sites.size(); ++i) {
-    const ReadSite& site = compiled_.program.read_sites[i];
+  rebuild_site_index();
+}
+
+void Cluster::rebuild_site_index() {
+  site_index_.clear();
+  for (std::size_t i = 0; i < compiled_->program.read_sites.size(); ++i) {
+    const ReadSite& site = compiled_->program.read_sites[i];
     assert(site.op_index < kMaxOpsPerSlot);
     site_index_[site_key(site.process, site.slot, site.op_index)] =
         static_cast<int>(i);
   }
+}
+
+void Cluster::reset(const Compiled& compiled, RuntimeConfig cfg) {
+  // Index rebuild (which allocates hash nodes) only happens when the driver
+  // hands over a different compiled object; workspace reruns over a cached
+  // compile keep the same address and skip it.
+  const bool same_compiled = compiled_ == &compiled;
+  compiled_ = &compiled;
+  cfg_ = cfg;
+  buffer_.reset(cfg_.buffer_capacity, compiled_->program.read_sites.size());
+  const int nproc = compiled_->program.num_processes();
+  if (static_cast<int>(clients_.size()) != nproc) {
+    clients_.clear();
+    for (int p = 0; p < nproc; ++p) {
+      clients_.push_back(std::make_unique<ClientProcess>(*this, p));
+    }
+  } else {
+    for (auto& c : clients_) c->reset();
+  }
+  const std::size_t nsched =
+      cfg_.use_runtime_scheduler ? static_cast<std::size_t>(nproc) : 0;
+  if (schedulers_.size() != nsched) {
+    schedulers_.clear();
+    for (std::size_t p = 0; p < nsched; ++p) {
+      schedulers_.push_back(
+          std::make_unique<SchedulerThread>(*this, static_cast<int>(p)));
+    }
+  } else {
+    for (auto& s : schedulers_) s->reset();
+  }
+  if (!same_compiled) rebuild_site_index();
+  stats_ = RuntimeStats{};
+  started_ = false;
 }
 
 void Cluster::start() {
@@ -282,8 +337,8 @@ int Cluster::access_id_at(int process, Slot slot, int op_index) const {
 
 const IoOp& Cluster::op_for(int access_id) const {
   const ReadSite& site =
-      compiled_.program.read_sites[static_cast<std::size_t>(access_id)];
-  return compiled_.program.processes[static_cast<std::size_t>(site.process)]
+      compiled_->program.read_sites[static_cast<std::size_t>(access_id)];
+  return compiled_->program.processes[static_cast<std::size_t>(site.process)]
       .slots[static_cast<std::size_t>(site.slot)]
       .ops[static_cast<std::size_t>(site.op_index)];
 }

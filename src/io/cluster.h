@@ -62,6 +62,10 @@ class ClientProcess {
 
   void start();
 
+  /// Rewinds to slot 0, un-finishes, and drops pending progress waiters.
+  /// Waiter vectors keep their capacity.
+  void reset();
+
   /// Number of fully completed slots (the paper's "local time").
   [[nodiscard]] Slot local_time() const { return completed_; }
 
@@ -86,6 +90,9 @@ class ClientProcess {
   bool finished_ = false;
   SimTime finish_time_ = 0;
   std::vector<std::pair<Slot, std::function<void()>>> waiters_;
+  /// Matured waiters staged here before firing (finish_slot); a member so
+  /// the staging storage is reused instead of reallocated every slot.
+  std::vector<std::function<void()>> ready_scratch_;
 };
 
 /// One runtime data-access scheduler thread (light-weight, per client node).
@@ -98,6 +105,12 @@ class SchedulerThread {
   /// Re-evaluates the table cursor; invoked on owner progress, buffer space
   /// release, writer progress and fetch completion.
   void kick();
+
+  /// Rewinds the table cursor for a fresh run.
+  void reset() {
+    cursor_ = 0;
+    fetches_in_flight_ = 0;
+  }
 
  private:
   Cluster& cluster_;
@@ -113,6 +126,14 @@ class Cluster {
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
+
+  /// Restores the cluster for a new run over (possibly different) compiled
+  /// output and runtime config.  Same-shape parts — clients, schedulers, the
+  /// prefetch buffer — reset in place without allocating; a process-count
+  /// change rebuilds the per-process objects, and a change of compiled
+  /// program (by address) rebuilds the read-site index.  The compiled output
+  /// must outlive the cluster, as with the constructor.
+  void reset(const Compiled& compiled, RuntimeConfig cfg);
 
   /// Launches every client process (and scheduler thread) at the current
   /// simulated time.
@@ -141,7 +162,7 @@ class Cluster {
   [[nodiscard]] Simulator& sim() { return sim_; }
   [[nodiscard]] StorageSystem& storage() { return storage_; }
   [[nodiscard]] GlobalBuffer& buffer() { return buffer_; }
-  [[nodiscard]] const Compiled& compiled() const { return compiled_; }
+  [[nodiscard]] const Compiled& compiled() const { return *compiled_; }
   [[nodiscard]] const RuntimeConfig& config() const { return cfg_; }
   [[nodiscard]] RuntimeStats& mutable_stats() { return stats_; }
 
@@ -152,9 +173,11 @@ class Cluster {
   [[nodiscard]] const IoOp& op_for(int access_id) const;
 
  private:
+  void rebuild_site_index();
+
   Simulator& sim_;
   StorageSystem& storage_;
-  const Compiled& compiled_;
+  const Compiled* compiled_;  // rebindable on reset(); never null
   RuntimeConfig cfg_;
   GlobalBuffer buffer_;
   std::vector<std::unique_ptr<ClientProcess>> clients_;

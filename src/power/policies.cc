@@ -138,13 +138,13 @@ Rpm HistoryMultiSpeed::choose_rpm(SimTime predicted_idle) const {
 
   Rpm best = p.max_rpm;
   Joules best_j = idle_at_max_j;
-  for (Rpm r : p.rpm_levels()) {
-    if (r == p.max_rpm) continue;
+  p.for_each_rpm_level([&](Rpm r) {
+    if (r == p.max_rpm) return;
     const SimTime down_t = p.rpm_transition_time(p.max_rpm, r);
     const SimTime up_t = p.rpm_transition_time(r, p.max_rpm);
     // Feasible only if we can reach the speed and come back within the
     // predicted idleness (the ahead-of-time return of Fig. 3a).
-    if (down_t + up_t >= predicted_idle) continue;
+    if (down_t + up_t >= predicted_idle) return;
     const Joules trans_j = pm.rpm_transition_w(p.max_rpm, r) * down_t +
                            pm.rpm_transition_w(r, p.max_rpm) * up_t;
     const Joules dwell_j = pm.idle_w(r) * (predicted_idle - down_t - up_t);
@@ -153,7 +153,7 @@ Rpm HistoryMultiSpeed::choose_rpm(SimTime predicted_idle) const {
       best_j = total;
       best = r;
     }
-  }
+  });
   return best;
 }
 

@@ -53,6 +53,8 @@ struct PolicyConfig {
   /// Prediction/History: minimum delay before re-evaluating an idle period
   /// that outlived its prediction.
   SimTime recheck_min = msec(500.0);
+
+  friend bool operator==(const PolicyConfig&, const PolicyConfig&) = default;
 };
 
 class SimpleSpinDown final : public PowerPolicy {
@@ -61,6 +63,11 @@ class SimpleSpinDown final : public PowerPolicy {
 
   void on_idle_begin() override;
   void on_request_arrival() override;
+  void reset() override {
+    timer_ = EventHandle();
+    last_spin_ups_ = 0;
+    cooldown_until_ = 0;
+  }
   [[nodiscard]] std::string name() const override { return "simple"; }
 
  private:
@@ -79,6 +86,14 @@ class PredictionSpinDown final : public PowerPolicy {
 
   void on_idle_begin() override;
   void on_request_arrival() override;
+  void reset() override {
+    predictor_ = IdlePredictor(cfg_.ewma_alpha, cfg_.medium_idle_threshold,
+                               cfg_.long_idle_threshold);
+    idle_since_.reset();
+    last_predicted_ = 0;
+    recheck_timer_ = EventHandle();
+    wakeup_timer_ = EventHandle();
+  }
   [[nodiscard]] std::string name() const override { return "prediction"; }
 
   /// Idle length above which a spin-down saves energy (computed from the
@@ -107,6 +122,14 @@ class HistoryMultiSpeed final : public PowerPolicy {
 
   void on_idle_begin() override;
   void on_request_arrival() override;
+  void reset() override {
+    predictor_ = IdlePredictor(cfg_.ewma_alpha, cfg_.medium_idle_threshold,
+                               cfg_.long_idle_threshold);
+    idle_since_.reset();
+    last_predicted_ = 0;
+    recheck_timer_ = EventHandle();
+    restore_timer_ = EventHandle();
+  }
   [[nodiscard]] std::string name() const override { return "history"; }
 
   /// Chooses the energy-optimal feasible speed for a predicted idle length;
@@ -132,6 +155,10 @@ class StaggeredMultiSpeed final : public PowerPolicy {
 
   void on_idle_begin() override;
   void on_request_arrival() override;
+  void reset() override {
+    step_timer_ = EventHandle();
+    cooldown_until_ = 0;
+  }
   [[nodiscard]] std::string name() const override { return "staggered"; }
 
  private:

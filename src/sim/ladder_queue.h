@@ -80,7 +80,10 @@ enum class QueueKind : int { kHeap, kLadder };
 /// The classic binary heap over (time, seq), on a reservable flat vector.
 class BinaryHeapQueue {
  public:
+  // dasched-lint: allow(hot-alloc): grow-only warm-up (high-water-mark)
   void reserve(std::size_t n) { heap_.reserve(n); }
+  /// Drops every entry, keeping the backing capacity warm.
+  void clear() { heap_.clear(); }
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
   [[nodiscard]] const QueuedEvent& top() const { return heap_.front(); }
@@ -128,9 +131,30 @@ class LadderQueue {
     // Each tier alone can hold all n outstanding events (one giant tie
     // group in the bottom, everything far-future in the top, everything
     // mid-range in the rung arena), so size each for n.
+    // dasched-lint: allow(hot-alloc): grow-only warm-up (high-water-mark)
     bot_.reserve(n + 1);
+    // dasched-lint: allow(hot-alloc): grow-only warm-up (high-water-mark)
     top_.reserve(n);
+    // dasched-lint: allow(hot-alloc): grow-only warm-up (high-water-mark)
     arena_.reserve(n);
+  }
+
+  /// Drops every entry and re-arms the small-queue fast path, keeping all
+  /// tier capacity (ring, arena, top) warm.  The internal tier placement of
+  /// subsequently pushed events never affects pop order — keys are unique
+  /// and every tier realizes the same (time, seq) total order — so a
+  /// cleared queue is observably identical to a fresh one.
+  void clear() {
+    bot_.clear();
+    bot_head_ = 0;
+    bot_last_ = SimTime::max();
+    num_rungs_ = 0;
+    arena_.clear();
+    free_head_ = -1;
+    top_.clear();
+    top_min_ = SimTime::max();
+    top_max_ = SimTime::min();
+    size_ = 0;
   }
 
   [[nodiscard]] bool empty() const { return size_ == 0; }

@@ -397,6 +397,24 @@ SimTime ShardedSimulator::run(const std::function<bool()>& stop_when) {
   return lane(0).now();
 }
 
+void ShardedSimulator::reset() {
+  for (auto& l : lanes_) l->reset();
+  for (auto* boxes : {&to_node_, &to_client_}) {
+    for (Mailbox& box : *boxes) {
+      box.buf[0].clear();
+      box.buf[1].clear();
+    }
+  }
+  write_parity_ = 1;
+  drain_parity_ = 0;
+  window_end_ = 0;
+  stop_ = false;
+  deadlocked_ = false;
+  windows_run_ = 0;
+  // lane_next_/lane_touched_/tournament_/mail minima/flags are re-derived
+  // from the (now empty) buffers by init_window_state() at the next run().
+}
+
 std::int64_t ShardedSimulator::events_executed() const {
   std::int64_t total = 0;
   for (const auto& l : lanes_) total += l->events_executed();

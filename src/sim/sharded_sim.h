@@ -168,6 +168,15 @@ class ShardedSimulator {
   /// start of the next run.
   SimTime run(const std::function<bool()>& stop_when);
 
+  /// Restores every lane and mailbox to the constructor postcondition while
+  /// keeping all capacity warm (lane event pools, mailbox buffers, dirty
+  /// lists): lanes are `Simulator::reset()` (stream ids survive), both
+  /// parities of every mailbox are cleared, and the window plan state is
+  /// re-zeroed.  `run()` re-derives everything else via
+  /// `init_window_state()`.  Lane addresses are stable across the reset, so
+  /// layer objects holding `Simulator&` stay valid.
+  void reset();
+
   /// True when the last `run` stopped because every lane drained before
   /// `stop_when` was satisfied.
   [[nodiscard]] bool deadlocked() const { return deadlocked_; }

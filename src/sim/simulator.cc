@@ -136,6 +136,32 @@ SimTime Simulator::run(SimTime until) {
   return now_;
 }
 
+void Simulator::reset() {
+  if (queue_kind_ == QueueKind::kLadder) {
+    ladder_.clear();
+  } else {
+    heap_.clear();
+  }
+  // Rebuild the free list over the whole pool.  Descending order so the
+  // next run acquires slot 0 first — not required for correctness (slot
+  // indices never affect event ordering), but it keeps reuse maximally
+  // fresh-like for debugging.  Bumping every generation neutralizes any
+  // EventHandle a layer object kept across the reset.
+  free_slots_.clear();
+  for (std::size_t i = records_.size(); i-- > 0;) {
+    Record& rec = records_[i];
+    rec.cb = EventFn();
+    rec.cancelled = false;
+    ++rec.gen;
+    // dasched-lint: allow(hot-alloc): free_slots_ capacity already matches
+    // records_ (release_slot keeps them in lock step), so this never grows.
+    free_slots_.push_back(static_cast<std::uint32_t>(i));
+  }
+  now_ = 0;
+  next_seq_ = 0;
+  executed_ = 0;
+}
+
 bool Simulator::idle() const {
   // Cancelled events may still sit in the queue; they do not count as work,
   // but scanning the queue would be O(n).  A conservative "false" when only

@@ -109,11 +109,15 @@ class Simulator {
   /// allocations (tests/sim/event_queue_alloc_test.cc).
   void reserve_events(std::size_t n) {
     if (queue_kind_ == QueueKind::kLadder) {
+      // dasched-lint: allow(hot-alloc): grow-only warm-up (high-water-mark)
       ladder_.reserve(n);
     } else {
+      // dasched-lint: allow(hot-alloc): grow-only warm-up (high-water-mark)
       heap_.reserve(n);
     }
+    // dasched-lint: allow(hot-alloc): grow-only warm-up (high-water-mark)
     records_.reserve(n);
+    // dasched-lint: allow(hot-alloc): grow-only warm-up (high-water-mark)
     free_slots_.reserve(n);
   }
 
@@ -182,6 +186,17 @@ class Simulator {
     assert(t >= now_ && "set_now cannot move the clock backwards");
     now_ = t;
   }
+
+  /// Restores the constructor postcondition — empty queue, zero clock, zero
+  /// sequence counter — while keeping every capacity warm (queue tiers,
+  /// record pool, free list) so the next run allocates nothing
+  /// (tests/driver/workspace_alloc_test.cc).  Every pooled record's
+  /// generation is bumped, so `EventHandle`s held across the reset by
+  /// long-lived layers become inert instead of dangling.  The stream id
+  /// (`set_stream`) and attached observers are preserved; pop order of the
+  /// next run is unaffected by the recycled slot/generation values because
+  /// event ordering depends only on (time, seq) keys.
+  void reset();
 
   /// Number of events executed so far.
   [[nodiscard]] std::int64_t events_executed() const { return executed_; }

@@ -110,6 +110,18 @@ void IoNode::write(Bytes offset, Bytes size, EventFn done) {
 
 IoNodeStats IoNode::finalize() {
   IoNodeStats out;
+  finalize_into(out);
+  return out;
+}
+
+void IoNode::finalize_into(IoNodeStats& out) {
+  out.energy_j = Joules{};
+  out.requests = 0;
+  out.disk_requests = 0;
+  out.spin_downs = 0;
+  out.spin_ups = 0;
+  out.rpm_changes = 0;
+  out.idle_periods.clear();
   out.cache = cache_.stats();
   for (auto& d : disks_) {
     const DiskStats& s = d->finalize();
@@ -122,7 +134,44 @@ IoNodeStats IoNode::finalize() {
   }
   out.requests = out.cache.hits + out.cache.misses;
   observers_.notify([&](IoNodeObserver* o) { o->on_finalized(*this, out); });
-  return out;
+}
+
+void IoNode::reset(const IoNodeConfig& cfg, std::uint64_t seed) {
+  const bool cache_same = cfg.cache_capacity == cfg_.cache_capacity &&
+                          cfg.cache_block_size == cfg_.cache_block_size;
+  const bool policy_same =
+      cfg.policy == cfg_.policy && cfg.policy_cfg == cfg_.policy_cfg;
+  const bool disks_same = cfg.num_disks == static_cast<int>(disks_.size());
+  cfg_ = cfg;
+  if (cache_same) {
+    cache_.reset();
+  } else {
+    cache_ = StorageCache(cfg.cache_capacity, cfg.cache_block_size);
+  }
+  // Reassigned even when unchanged: the mirror-read toggle must rewind to
+  // zero or RAID 10 read placement diverges from a fresh construction.
+  raid_ = RaidLayout(cfg.raid, cfg.num_disks, cfg.chunk_size);
+  join_pool_.reset();
+  if (!disks_same) {
+    disks_.clear();
+    policies_.clear();
+    for (int i = 0; i < cfg.num_disks; ++i) {
+      disks_.push_back(std::make_unique<Disk>(
+          sim_, cfg_.disk, derive_seed(seed, static_cast<std::uint64_t>(i))));
+      policies_.push_back(make_policy(cfg_.policy, cfg_.policy_cfg));
+      disks_.back()->set_policy(policies_.back().get());
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < disks_.size(); ++i) {
+    disks_[i]->reset(cfg_.disk, derive_seed(seed, static_cast<std::uint64_t>(i)));
+    if (policy_same) {
+      if (policies_[i] != nullptr) policies_[i]->reset();
+    } else {
+      policies_[i] = make_policy(cfg_.policy, cfg_.policy_cfg);
+    }
+    disks_[i]->set_policy(policies_[i].get());
+  }
 }
 
 }  // namespace dasched

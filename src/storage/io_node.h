@@ -135,6 +135,20 @@ class IoNode {
   /// Accrues trailing energy on all disks and aggregates statistics.
   IoNodeStats finalize();
 
+  /// `finalize()` into caller-owned storage: `out`'s histogram keeps its
+  /// bucket allocation, so repeated finalizes through a workspace allocate
+  /// nothing.
+  void finalize_into(IoNodeStats& out);
+
+  /// Restores the node for a new run under (possibly changed) `cfg`.  The
+  /// same-shape parts reset in place without allocating — cache (same
+  /// geometry), RAID mapping (mirror toggle rewound), disks (same count),
+  /// policies (same kind + tuning); a genuine shape change (disk count,
+  /// cache geometry, policy kind/tuning) rebuilds just the changed
+  /// component.  Must run after the owning simulator's reset.  Observers
+  /// are not touched; the driver re-installs them per run.
+  void reset(const IoNodeConfig& cfg, std::uint64_t seed);
+
  private:
   /// Expands [offset, offset+size) through the RAID layout into
   /// `scratch_ops_` (reused across requests; never reallocated in steady

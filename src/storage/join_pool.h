@@ -70,6 +70,24 @@ class JoinPool {
     return records_.size() - free_slots_.size();
   }
 
+  /// Restores the fresh-pool state while keeping slot capacity: drops any
+  /// joins left open by an interrupted run, bumps every generation so stale
+  /// JoinIds captured in cancelled events can never alias a new join, and
+  /// rebuilds the free list in descending order — the next run then acquires
+  /// slot 0, 1, ... exactly like a freshly grown pool.
+  void reset() {
+    free_slots_.clear();
+    for (std::size_t i = records_.size(); i-- > 0;) {
+      Record& rec = records_[i];
+      rec.done = EventFn();
+      rec.outstanding = 0;
+      ++rec.gen;
+      // dasched-lint: allow(hot-alloc): free-list capacity matches the pool
+      // high-water mark after the first full drain.
+      free_slots_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
  private:
   struct Record {
     EventFn done;

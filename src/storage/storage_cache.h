@@ -10,6 +10,7 @@
 // "with I/O prefetching".
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -59,6 +60,18 @@ class StorageCache {
   /// miss.  `depth` beyond `kMaxPrefetchDepth` is clamped.
   void prefetch_candidates(Bytes block_offset, int depth,
                            PrefetchList& out) const;
+
+  /// Drops every resident block and zeroes the statistics, keeping the slot
+  /// array and hash table warm — observably identical to a freshly
+  /// constructed cache of the same geometry, without any allocation.
+  void reset() {
+    count_ = 0;
+    free_slots_.clear();
+    next_unused_ = 0;
+    head_ = tail_ = kNil;
+    std::fill(table_.begin(), table_.end(), kNil);
+    stats_ = CacheStats{};
+  }
 
   [[nodiscard]] Bytes block_size() const { return block_size_; }
   [[nodiscard]] std::size_t size() const { return count_; }

@@ -102,10 +102,27 @@ void StorageSystem::write(FileId f, Bytes offset, Bytes size, EventFn done) {
 
 StorageStats StorageSystem::finalize() {
   StorageStats out;
+  finalize_into(out);
+  return out;
+}
+
+void StorageSystem::finalize_into(StorageStats& out) {
+  out.energy_j = Joules{};
+  out.requests = 0;
+  out.disk_requests = 0;
+  out.spin_downs = 0;
+  out.spin_ups = 0;
+  out.rpm_changes = 0;
+  out.cache_hit_rate = 0.0;
+  out.idle_periods.clear();
+  // Grows once on first use (or on a node-count increase), then reuses the
+  // per-node slots and their histogram buckets forever after.
+  if (out.per_node.size() != nodes_.size()) out.per_node.resize(nodes_.size());
   std::int64_t hits = 0;
   std::int64_t lookups = 0;
-  for (auto& n : nodes_) {
-    IoNodeStats s = n->finalize();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    IoNodeStats& s = out.per_node[i];
+    nodes_[i]->finalize_into(s);
     out.energy_j += s.energy_j;
     out.requests += s.requests;
     out.disk_requests += s.disk_requests;
@@ -115,11 +132,34 @@ StorageStats StorageSystem::finalize() {
     out.idle_periods.merge(s.idle_periods);
     hits += s.cache.hits;
     lookups += s.cache.hits + s.cache.misses;
-    out.per_node.push_back(std::move(s));
   }
   out.cache_hit_rate =
       lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
-  return out;
+}
+
+void StorageSystem::reset(const StorageConfig& cfg) {
+  const bool striping_same = cfg.num_io_nodes == cfg_.num_io_nodes &&
+                             cfg.stripe_size == cfg_.stripe_size;
+  const bool nodes_same = cfg.num_io_nodes == static_cast<int>(nodes_.size());
+  cfg_ = cfg;
+  if (!striping_same) {
+    striping_ = StripingMap(cfg_.num_io_nodes, cfg_.stripe_size);
+  }
+  join_pool_.reset();
+  if (!nodes_same) {
+    nodes_.clear();
+    build_nodes();
+    return;
+  }
+  // build_nodes() derives these from the policy/stripe choice; the in-place
+  // path must apply the same normalization before handing cfg_.node down.
+  cfg_.node.disk.multi_speed = needs_multi_speed(cfg_.node.policy);
+  cfg_.node.chunk_size = cfg_.stripe_size;
+  cfg_.node.cache_block_size = cfg_.stripe_size;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i]->reset(cfg_.node,
+                     derive_seed(cfg_.seed, static_cast<std::uint64_t>(i)));
+  }
 }
 
 }  // namespace dasched

@@ -116,6 +116,20 @@ class StorageSystem {
   /// Finalizes all nodes and aggregates system-wide statistics.
   StorageStats finalize();
 
+  /// `finalize()` into caller-owned storage: the per-node vector and every
+  /// histogram keep their allocations, so repeated finalizes through a
+  /// workspace allocate nothing after the first.
+  void finalize_into(StorageStats& out);
+
+  /// Restores the system for a new run under (possibly changed) `cfg`.
+  /// Same-shape parts reset in place without allocating; a node-count or
+  /// stripe-size change rebuilds the affected component.  The striping map
+  /// (and its registered files) is deliberately left alone when its geometry
+  /// is unchanged — the driver owns the decision to rebuild the workload
+  /// (see StripingMap::reset).  Must run after the owning simulator's reset.
+  /// Observers are not touched; the driver re-installs them per run.
+  void reset(const StorageConfig& cfg);
+
  private:
   void build_nodes();
   void route(FileId f, Bytes offset, Bytes size, bool is_write,

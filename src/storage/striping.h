@@ -38,6 +38,16 @@ class StripingMap {
   /// Registers a file; stripes are assigned node-local space immediately.
   FileId create_file(std::string name, Bytes size);
 
+  /// Forgets every file and returns all node-local space, keeping the
+  /// geometry (node count, stripe size).  File creation is deterministic,
+  /// so re-registering the same files after a reset reproduces the exact
+  /// same mapping as a fresh construction.  Only called on a workload
+  /// change (never on the zero-allocation reuse path).
+  void reset() {
+    files_.clear();
+    std::fill(next_free_.begin(), next_free_.end(), Bytes{0});
+  }
+
   [[nodiscard]] int num_io_nodes() const { return num_nodes_; }
   [[nodiscard]] Bytes stripe_size() const { return stripe_size_; }
   [[nodiscard]] int num_files() const { return static_cast<int>(files_.size()); }

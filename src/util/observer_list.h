@@ -21,6 +21,8 @@ class ObserverList {
   /// Registers `obs` (nullptr and duplicates are ignored).
   void add(Observer* obs) {
     if (obs == nullptr || contains(obs)) return;
+    // dasched-lint: allow(hot-alloc): per-run observer install; erase keeps
+    // the capacity warm, so re-registration on a warm list never grows
     taps_.push_back(obs);
   }
 

@@ -58,6 +58,10 @@ namespace {
       "                    buffer_mib|slack (e.g. --sweep nodes=2,4,8)\n"
       "  --threads N       grid worker threads (default: DASCHED_GRID_THREADS,\n"
       "                    then hardware concurrency)\n"
+      "  --workspace M     on|off: reuse one warm ExperimentWorkspace per\n"
+      "                    worker across cells (default: DASCHED_WORKSPACE,\n"
+      "                    then on); off = legacy fresh-per-cell; results are\n"
+      "                    bit-identical either way\n"
       "  --out-csv F       write per-cell CSV to F ('-' = stdout)\n"
       "  --out-jsonl F     write per-cell JSON lines to F ('-' = stdout)\n"
       "telemetry:\n"
@@ -183,6 +187,7 @@ int main(int argc, char** argv) {
   std::vector<bool> grid_schemes{false};
   SweepAxis grid_sweep;
   int grid_threads = 0;
+  int grid_workspace = -1;  // -1 = resolve DASCHED_WORKSPACE (default on)
   std::string out_csv;
   std::string out_jsonl;
   std::string out_telemetry_csv;
@@ -276,6 +281,17 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--threads") {
       grid_threads = parse_int_or_die(value(), "--threads");
+    } else if (arg == "--workspace") {
+      const std::string v = value();
+      if (v == "on") {
+        grid_workspace = 1;
+      } else if (v == "off") {
+        grid_workspace = 0;
+      } else {
+        std::fprintf(stderr, "--workspace: expected on|off, got '%s'\n",
+                     v.c_str());
+        return 2;
+      }
     } else if (arg == "--out-csv") {
       out_csv = value();
     } else if (arg == "--out-jsonl") {
@@ -345,6 +361,7 @@ int main(int argc, char** argv) {
     grid.sweep = std::move(grid_sweep);
     GridRunOptions opts;
     opts.threads = grid_threads;
+    opts.workspace = grid_workspace;
     opts.audit = audit;
     opts.telemetry = cfg.telemetry;
     cfg.telemetry = {};  // cells get it via opts with per-cell directories

@@ -6,29 +6,34 @@
 // rewrites (see EXPERIMENTS.md "Bit-identity probes").
 //
 // Usage: hexfloat_probe [--procs N] [--scale F] [--shards N]
-//                       [--lane-assign round_robin|balanced]
-// (defaults: 8, 0.2, 0 = classic serial engine, balanced).  Diffing
-// `--shards 1` against `--shards N` output is the tentpole check for the
-// sharded engine: the conservative-lookahead protocol promises bit-identity
-// across worker counts (DESIGN.md §14), and this probe is how CI enforces
-// it.  The same holds for the event-queue kind (run under DASCHED_QUEUE=heap
-// vs =ladder) and the lane→worker map (--lane-assign): every axis must diff
-// clean (DESIGN.md §15).
+//                       [--lane-assign round_robin|balanced] [--workspace]
+// (defaults: 8, 0.2, 0 = classic serial engine, balanced, fresh-per-cell).
+// Diffing `--shards 1` against `--shards N` output is the tentpole check for
+// the sharded engine: the conservative-lookahead protocol promises
+// bit-identity across worker counts (DESIGN.md §14), and this probe is how
+// CI enforces it.  The same holds for the event-queue kind (run under
+// DASCHED_QUEUE=heap vs =ladder), the lane→worker map (--lane-assign), and
+// cross-run workspace reuse (--workspace routes all 32 cells through ONE
+// reused ExperimentWorkspace — warm pools, compile cache and all — instead
+// of a fresh stack per cell; DESIGN.md §16): every axis must diff clean.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "driver/experiment.h"
+#include "driver/workspace.h"
 
 namespace dasched {
 namespace {
 
-int run_probe(int procs, double scale, int shards, LaneAssign lane_assign) {
+int run_probe(int procs, double scale, int shards, LaneAssign lane_assign,
+              bool use_workspace) {
   const std::vector<std::string> apps = {"sar", "madbench2", "hf", "apsi"};
   const std::vector<PolicyKind> policies = {
       PolicyKind::kNone, PolicyKind::kSimple, PolicyKind::kHistory,
       PolicyKind::kStaggered};
+  ExperimentWorkspace ws;  // shared across every cell under --workspace
   for (const std::string& app : apps) {
     for (PolicyKind policy : policies) {
       for (int scheme = 0; scheme <= 1; ++scheme) {
@@ -40,7 +45,8 @@ int run_probe(int procs, double scale, int shards, LaneAssign lane_assign) {
         cfg.use_scheme = scheme != 0;
         cfg.shards = shards;
         cfg.lane_assign = lane_assign;
-        const ExperimentResult r = run_experiment(cfg);
+        const ExperimentResult r =
+            use_workspace ? run_experiment(cfg, ws) : run_experiment(cfg);
         std::printf(
             "%s %s scheme=%d exec=%lld energy=%a events=%lld "
             "hit_rate=%a disk_reqs=%lld spin_downs=%lld rpm_changes=%lld "
@@ -72,6 +78,7 @@ int main(int argc, char** argv) {
   double scale = 0.2;
   int shards = 0;
   dasched::LaneAssign lane_assign = dasched::LaneAssign::kBalanced;
+  bool use_workspace = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--procs" && i + 1 < argc) {
@@ -88,12 +95,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       lane_assign = *mode;
+    } else if (arg == "--workspace") {
+      use_workspace = true;
     } else {
       std::fprintf(stderr,
                    "usage: hexfloat_probe [--procs N] [--scale F] "
-                   "[--shards N] [--lane-assign round_robin|balanced]\n");
+                   "[--shards N] [--lane-assign round_robin|balanced] "
+                   "[--workspace]\n");
       return 2;
     }
   }
-  return dasched::run_probe(procs, scale, shards, lane_assign);
+  return dasched::run_probe(procs, scale, shards, lane_assign, use_workspace);
 }
