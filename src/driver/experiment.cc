@@ -43,27 +43,32 @@ std::size_t default_event_reserve(const StorageConfig& storage,
 
 void validate_experiment_topology(const ExperimentConfig& cfg) {
   if (cfg.scale.num_processes < 1) {
-    throw std::invalid_argument(
-        "experiment: num_processes must be >= 1, got " +
-        std::to_string(cfg.scale.num_processes));
+    throw ConfigError("scale.num_processes",
+                      "experiment: num_processes must be >= 1, got " +
+                          std::to_string(cfg.scale.num_processes));
   }
   if (cfg.storage.num_io_nodes < 1) {
-    throw std::invalid_argument("experiment: num_io_nodes must be >= 1, got " +
-                                std::to_string(cfg.storage.num_io_nodes));
+    throw ConfigError("storage.num_io_nodes",
+                      "experiment: num_io_nodes must be >= 1, got " +
+                          std::to_string(cfg.storage.num_io_nodes));
   }
   if (cfg.shards < 0) {
-    throw std::invalid_argument(
+    throw ConfigError(
+        "shards",
         "experiment: shards must be >= 0 (0 = classic serial engine), got " +
-        std::to_string(cfg.shards));
+            std::to_string(cfg.shards));
   }
   if (cfg.shards > cfg.storage.num_io_nodes) {
-    throw std::invalid_argument(
+    throw ConfigError(
+        "shards",
         "experiment: shards (" + std::to_string(cfg.shards) +
-        ") exceeds num_io_nodes (" + std::to_string(cfg.storage.num_io_nodes) +
-        "); every worker needs at least one I/O-node event lane");
+            ") exceeds num_io_nodes (" +
+            std::to_string(cfg.storage.num_io_nodes) +
+            "); every worker needs at least one I/O-node event lane");
   }
   if (cfg.shards > 0 && cfg.storage.network_latency <= SimTime{0}) {
-    throw std::invalid_argument(
+    throw ConfigError(
+        "storage.network_latency",
         "experiment: sharded execution derives its lookahead from "
         "storage.network_latency, which must be positive");
   }

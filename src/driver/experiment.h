@@ -31,6 +31,21 @@ namespace dasched {
 class SimAuditor;
 struct TelemetrySummary;
 
+/// Configuration rejection with the offending field attached.  Subclasses
+/// std::invalid_argument so existing catch sites keep working; daemon error
+/// frames and CLI diagnostics use `field()` to tell clients *which* knob to
+/// fix instead of forwarding a bare message.
+class ConfigError : public std::invalid_argument {
+ public:
+  ConfigError(std::string field, const std::string& message)
+      : std::invalid_argument(message), field_(std::move(field)) {}
+
+  [[nodiscard]] const std::string& field() const noexcept { return field_; }
+
+ private:
+  std::string field_;
+};
+
 struct ExperimentConfig {
   std::string app = "hf";
   WorkloadScale scale;
@@ -127,8 +142,9 @@ struct ExperimentResult {
 /// size is accepted — the paper's 8-node/32-client evaluation cap is a
 /// default, not a limit), and a sharded run needs 1 <= shards <=
 /// num_io_nodes plus a positive network latency (the lookahead source).
-/// Throws std::invalid_argument with a specific message otherwise.  Called
-/// by run_experiment; exposed for tools and tests.
+/// Throws ConfigError (a std::invalid_argument carrying the offending field
+/// name) with a specific message otherwise.  Called by run_experiment;
+/// exposed for tools, the daemon, and tests.
 void validate_experiment_topology(const ExperimentConfig& cfg);
 
 /// Runs a single experiment to completion.  Throws std::runtime_error if the

@@ -1,18 +1,19 @@
 #include "engine/env_knobs.h"
 
 #include <cerrno>
-#include <cstdio>
 #include <cstdlib>
 #include <limits>
+
+#include "util/parse.h"
 
 namespace dasched {
 
 namespace {
 
+// The fatal path is shared with every other strict knob in the tree
+// (util/parse.h), including the ones below this library's link level.
 [[noreturn]] void die(const char* name, const char* value, const char* kind) {
-  std::fprintf(stderr, "%s: invalid value '%s' (expected %s)\n", name, value,
-               kind);
-  std::exit(2);
+  die_invalid_value(name, value, kind);
 }
 
 }  // namespace

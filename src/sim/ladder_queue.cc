@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/parse.h"
+
 namespace dasched {
 
 const char* to_string(QueueKind kind) {
@@ -17,15 +19,11 @@ const char* to_string(QueueKind kind) {
 }
 
 QueueKind queue_kind_from_env(QueueKind fallback) {
-  // Strict parse in the engine/env_knobs mold; implemented here because the
-  // sim library sits below the engine library in the link order.
   const char* v = std::getenv("DASCHED_QUEUE");
   if (v == nullptr) return fallback;
   if (std::strcmp(v, "heap") == 0) return QueueKind::kHeap;
   if (std::strcmp(v, "ladder") == 0) return QueueKind::kLadder;
-  std::fprintf(stderr, "DASCHED_QUEUE: invalid value '%s' (expected %s)\n", v,
-               "heap|ladder");
-  std::exit(2);
+  die_invalid_value("DASCHED_QUEUE", v, "heap|ladder");
 }
 
 }  // namespace dasched

@@ -7,6 +7,8 @@
 #include <thread>
 #include <utility>
 
+#include "util/parse.h"
+
 namespace dasched {
 
 const char* to_string(LaneAssign mode) {
@@ -26,16 +28,10 @@ std::optional<LaneAssign> parse_lane_assign(const std::string& s) {
 }
 
 LaneAssign lane_assign_from_env(LaneAssign fallback) {
-  // Strict parse in the engine/env_knobs mold; implemented here because the
-  // sim library sits below the engine library in the link order.
   const char* v = std::getenv("DASCHED_LANE_ASSIGN");
   if (v == nullptr) return fallback;
   const auto parsed = parse_lane_assign(v);
-  if (!parsed) {
-    std::fprintf(stderr, "DASCHED_LANE_ASSIGN: invalid value '%s' (expected %s)\n",
-                 v, "round_robin|balanced");
-    std::exit(2);
-  }
+  if (!parsed) die_invalid_value("DASCHED_LANE_ASSIGN", v, "round_robin|balanced");
   return *parsed;
 }
 

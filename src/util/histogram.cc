@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace dasched {
 
@@ -13,6 +14,22 @@ std::vector<double> DurationHistogram::paper_edges_msec() {
 DurationHistogram::DurationHistogram(std::vector<double> edges_msec)
     : edges_msec_(std::move(edges_msec)),
       counts_(edges_msec_.size() + 1, 0) {}
+
+DurationHistogram DurationHistogram::from_parts(std::vector<double> edges_msec,
+                                                std::vector<std::int64_t> counts,
+                                                std::int64_t total_count,
+                                                double total_msec) {
+  if (counts.size() != edges_msec.size() + 1) {
+    throw std::invalid_argument(
+        "DurationHistogram::from_parts: counts must have edges.size() + 1 "
+        "entries");
+  }
+  DurationHistogram out(std::move(edges_msec));
+  out.counts_ = std::move(counts);
+  out.total_count_ = total_count;
+  out.total_msec_ = total_msec;
+  return out;
+}
 
 void DurationHistogram::add(SimTime duration) { add_msec(to_msec(duration)); }
 

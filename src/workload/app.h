@@ -46,6 +46,10 @@ struct App {
   /// Per-app compile tweaks.
   Bytes length_unit = mib(1);
   int granularity = 1;
+  /// > 0: the workload defines its own process count (replayed traces carry
+  /// theirs in the trace); callers must run it with exactly this many
+  /// processes instead of scaling WorkloadScale::num_processes freely.
+  int fixed_processes = 0;
   /// Registers the app's files on `striping` and returns the lowered
   /// per-process slot plans.
   std::function<CompiledProgram(StripingMap&, const WorkloadScale&)> build;
@@ -55,7 +59,17 @@ struct App {
 /// hf, sar, astro, apsi, madbench2, wupwise.
 [[nodiscard]] const std::vector<App>& all_apps();
 
-/// Lookup by name; throws std::out_of_range for unknown names.
+/// Lookup by name: the six built-ins first, then the registered-app table.
+/// Throws std::out_of_range for unknown names.
 [[nodiscard]] const App& app_by_name(const std::string& name);
+
+/// Registers a dynamically built app (a replayed trace) under `app.name` and
+/// returns a stable reference resolvable through `app_by_name`.  Thread-safe;
+/// registration is first-wins and idempotent — re-registering an existing
+/// name returns the original entry unchanged, so content-addressed names
+/// (replay:<fingerprint>) make concurrent uploads of the same trace converge
+/// on one shared App.  Shadowing a built-in name throws
+/// std::invalid_argument.  Registered apps live for the process lifetime.
+const App& register_app(App app);
 
 }  // namespace dasched

@@ -1,5 +1,7 @@
 #include "workload/app.h"
 
+#include <deque>
+#include <mutex>
 #include <stdexcept>
 
 #include "compiler/loop_program.h"
@@ -389,25 +391,65 @@ const std::vector<App>& all_apps() {
   static const std::vector<App> apps = [] {
     std::vector<App> out;
     out.push_back(App{"hf", "Hartree-Fock Method", 27.9, 3'637.4, false,
-                      mib(1), 1, build_hf});
+                      mib(1), 1, /*fixed_processes=*/0, build_hf});
     out.push_back(App{"sar", "Synthetic Aperture Radar Kernel", 11.1, 1'227.3,
-                      false, kib(192), 1, build_sar});
+                      false, kib(192), 1, /*fixed_processes=*/0, build_sar});
     out.push_back(App{"astro", "Analysis of Astronomical Data", 16.8, 2'837.6,
-                      false, mib(1), 1, build_astro});
+                      false, mib(1), 1, /*fixed_processes=*/0, build_astro});
     out.push_back(App{"apsi", "Pollutant Distribution Modeling", 13.7, 3'094.1,
-                      false, mib(1), 1, build_apsi});
+                      false, mib(1), 1, /*fixed_processes=*/0, build_apsi});
     out.push_back(App{"madbench2", "Cosmic Microwave Background Radiation",
-                      9.8, 1'955.3, true, kib(512), 1, build_madbench2});
+                      9.8, 1'955.3, true, kib(512), 1, /*fixed_processes=*/0, build_madbench2});
     out.push_back(App{"wupwise", "Physics / Quantum Chromodynamics", 39.8,
-                      4'812.1, false, kib(192), 1, build_wupwise});
+                      4'812.1, false, kib(192), 1, /*fixed_processes=*/0, build_wupwise});
     return out;
   }();
   return apps;
 }
 
+namespace {
+
+// Registered (dynamic) apps.  A deque gives every entry a stable address —
+// register_app hands out references that must survive later registrations —
+// and the mutex covers both registration and lookup, so daemon tenants can
+// upload traces while other tenants resolve app names.  Function-local
+// statics avoid any global-init ordering hazard with all_apps().
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::deque<App>& registered_apps() {
+  static std::deque<App> apps;
+  return apps;
+}
+
+}  // namespace
+
+const App& register_app(App app) {
+  for (const App& builtin : all_apps()) {
+    if (builtin.name == app.name) {
+      throw std::invalid_argument("register_app: '" + app.name +
+                                  "' shadows a built-in application");
+    }
+  }
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  for (const App& existing : registered_apps()) {
+    if (existing.name == app.name) return existing;  // first-wins idempotence
+  }
+  registered_apps().push_back(std::move(app));
+  return registered_apps().back();
+}
+
 const App& app_by_name(const std::string& name) {
   for (const App& app : all_apps()) {
     if (app.name == name) return app;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex());
+    for (const App& app : registered_apps()) {
+      if (app.name == name) return app;
+    }
   }
   throw std::out_of_range("unknown application: " + name);
 }

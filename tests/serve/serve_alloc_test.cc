@@ -1,0 +1,184 @@
+// Zero-allocation proof for the daemon steady state (ISSUE acceptance
+// gate): the second-and-later identical kRun requests on a warm tenant
+// workspace must perform ZERO heap allocations end to end — frame parse,
+// config reset, app resolution, the full simulation, result serialization
+// and the reply frames.
+//
+// Same global operator new/delete interposer as
+// tests/driver/workspace_alloc_test.cc, pointed at TenantSession::handle —
+// the transport-independent request handler the socket server drives, so
+// everything above the socket write() is covered.  The sink reuses a
+// capacity-kept capture buffer the same way the real connection reuses its
+// write scratch.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocations{0};
+
+void note_allocation() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void* counted_alloc(std::size_t n) {
+  note_allocation();
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t n, std::size_t align) {
+  note_allocation();
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, n == 0 ? align : n) != 0) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+// Replaceable global allocation functions — every variant the runtime may
+// pick, so no allocation slips past the counter.
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  note_allocation();
+  return std::malloc(n == 0 ? 1 : n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  note_allocation();
+  return std::malloc(n == 0 ? 1 : n);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace dasched::serve {
+namespace {
+
+/// Captures reply frames into one reused buffer (capacity is kept across
+/// requests, like the connection's write scratch).
+class CaptureSink : public TenantSession::Sink {
+ public:
+  bool write_frame(FrameType t,
+                   std::span<const std::uint8_t> payload) override {
+    types_.push_back(t);
+    bytes_.insert(bytes_.end(), payload.begin(), payload.end());
+    return true;
+  }
+  void reset() {
+    types_.clear();
+    bytes_.clear();
+  }
+  const std::vector<FrameType>& types() const { return types_; }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<FrameType> types_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+std::span<const std::uint8_t> as_span(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(ServeAlloc, WarmTenantRunRequestAllocatesNothing) {
+  // The same small cell as workspace_alloc_test.cc, shipped over the wire.
+  ExperimentConfig cfg;
+  cfg.app = "sar";
+  cfg.scale.num_processes = 4;
+  cfg.scale.factor = 0.1;
+  cfg.policy = PolicyKind::kHistory;
+  cfg.use_scheme = true;
+  std::string payload;
+  format_run_request(cfg, /*audit=*/false, payload);
+
+  TenantSession session(/*tenant_id=*/1);
+  CaptureSink sink;
+
+  // Warm-up: request 1 builds the whole stack, request 2 re-touches the
+  // exact steady-state path (compile-cache hit, pools at high-water marks,
+  // request/reply buffers at capacity).
+  ASSERT_TRUE(session.handle(FrameType::kRun, as_span(payload), sink));
+  const std::vector<std::uint8_t> first = sink.bytes();
+  sink.reset();
+  ASSERT_TRUE(session.handle(FrameType::kRun, as_span(payload), sink));
+  ASSERT_EQ(sink.bytes(), first);
+  sink.reset();
+
+  g_allocations.store(0);
+  g_counting.store(true);
+  const bool keep = session.handle(FrameType::kRun, as_span(payload), sink);
+  g_counting.store(false);
+
+  EXPECT_TRUE(keep);
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "daemon steady state hit the heap on request "
+      << session.requests_served();
+  // The counted request did real work, bit-identically.
+  EXPECT_EQ(sink.bytes(), first);
+  ASSERT_EQ(sink.types().size(), 2u);
+  EXPECT_EQ(sink.types()[0], FrameType::kResult);
+  EXPECT_EQ(sink.types()[1], FrameType::kDone);
+  // ...on the warm workspace, not a rebuilt one.
+  EXPECT_EQ(session.requests_served(), 3u);
+  EXPECT_EQ(session.workspace().engine_rebuilds(), 1u);
+  EXPECT_EQ(session.workspace().workload_builds(), 1u);
+  EXPECT_EQ(session.workspace().compile_misses(), 1u);
+}
+
+TEST(ServeAlloc, PingIsAllocationFreeOnWarmSession) {
+  TenantSession session(2);
+  CaptureSink sink;
+  ASSERT_TRUE(
+      session.handle(FrameType::kPing, std::span<const std::uint8_t>{}, sink));
+  sink.reset();
+
+  g_allocations.store(0);
+  g_counting.store(true);
+  const bool keep =
+      session.handle(FrameType::kPing, std::span<const std::uint8_t>{}, sink);
+  g_counting.store(false);
+  EXPECT_TRUE(keep);
+  EXPECT_EQ(g_allocations.load(), 0u);
+  ASSERT_EQ(sink.types().size(), 1u);
+  EXPECT_EQ(sink.types()[0], FrameType::kPong);
+}
+
+}  // namespace
+}  // namespace dasched::serve

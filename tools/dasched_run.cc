@@ -33,6 +33,7 @@
 #include "engine/result_sink.h"
 #include "telemetry/analytics.h"
 #include "util/table.h"
+#include "workload/trace_replay.h"
 
 using namespace dasched;
 
@@ -47,7 +48,19 @@ namespace {
       "  --scheme          enable the compiler-directed scheduling framework\n"
       "  --csv             print one CSV row instead of the report\n"
       "  --csv-header      print the CSV header and exit\n"
+      "  --hexfloat        print one bit-exact hexfloat line (the\n"
+      "                    hexfloat_probe format) instead of the report\n"
       "  --dump-trace F    write the workload's lowered trace to F and exit\n"
+      "trace replay (EXPERIMENTS.md \"Trace replay\"):\n"
+      "  --replay F        replay an external I/O trace as the workload;\n"
+      "                    registers it as app replay:<fingerprint> with the\n"
+      "                    trace's own process count (override with --procs)\n"
+      "  --replay-format X auto|csv|jsonl|blk (default auto: extension, then\n"
+      "                    first-data-line sniff)\n"
+      "  --replay-slot-us N  timestamp quantum per scheduling slot\n"
+      "                    (default 10000)\n"
+      "  --replay-seed N   tie-break/jitter seed; part of the trace's\n"
+      "                    fingerprint identity (default 1)\n"
       "grid mode:\n"
       "  --grid            run a declarative experiment grid (see below)\n"
       "  --apps A,B,..     application axis (default: all six)\n"
@@ -180,8 +193,12 @@ int main(int argc, char** argv) {
   cfg.shards = shards_from_env(0);
   cfg.lane_assign = lane_assign_from_env(cfg.lane_assign);
   bool csv = false;
+  bool hexfloat = false;
   bool audit = false;
   bool grid_mode = false;
+  bool procs_set = false;
+  std::string replay_path;
+  ReplayOptions replay_opts;
   std::vector<std::string> grid_apps;
   std::vector<PolicyKind> grid_policies;
   std::vector<bool> grid_schemes{false};
@@ -207,6 +224,7 @@ int main(int argc, char** argv) {
       cfg.use_scheme = true;
     } else if (arg == "--procs") {
       cfg.scale.num_processes = parse_int_or_die(value(), "--procs");
+      procs_set = true;
     } else if (arg == "--scale") {
       cfg.scale.factor = parse_number_or_die(value(), "--scale");
     } else if (arg == "--nodes") {
@@ -239,6 +257,26 @@ int main(int argc, char** argv) {
       audit = true;
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--hexfloat") {
+      hexfloat = true;
+    } else if (arg == "--replay") {
+      replay_path = value();
+    } else if (arg == "--replay-format") {
+      const std::string v = value();
+      const auto fmt = parse_trace_format(v);
+      if (!fmt) {
+        std::fprintf(stderr,
+                     "--replay-format: expected auto|csv|jsonl|blk, got "
+                     "'%s'\n",
+                     v.c_str());
+        return 2;
+      }
+      replay_opts.format = *fmt;
+    } else if (arg == "--replay-slot-us") {
+      replay_opts.slot_us = parse_int_or_die(value(), "--replay-slot-us");
+    } else if (arg == "--replay-seed") {
+      replay_opts.seed = static_cast<std::uint64_t>(
+          parse_int_or_die(value(), "--replay-seed"));
     } else if (arg == "--grid") {
       grid_mode = true;
     } else if (arg == "--apps") {
@@ -342,13 +380,38 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!replay_path.empty()) {
+    try {
+      const App& app = register_replay_file(replay_path, replay_opts);
+      cfg.app = app.name;
+      if (!procs_set) {
+        cfg.scale.num_processes = app.fixed_processes;
+      } else if (cfg.scale.num_processes != app.fixed_processes) {
+        std::fprintf(stderr,
+                     "--procs %d conflicts with the trace's own process "
+                     "count %d (omit --procs to use the trace's)\n",
+                     cfg.scale.num_processes, app.fixed_processes);
+        return 2;
+      }
+    } catch (const TraceParseError& e) {
+      std::fprintf(stderr, "--replay: %s\n", e.what());
+      return 2;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--replay: %s\n", e.what());
+      return 2;
+    }
+  }
+
   if (grid_mode) {
     ExperimentGrid grid;
     grid.base = cfg;
     grid.base_seed = cfg.seed;
     grid.apps = grid_apps.empty()
-                    ? std::vector<std::string>{"hf", "sar", "astro", "apsi",
-                                               "madbench2", "wupwise"}
+                    ? (replay_path.empty()
+                           ? std::vector<std::string>{"hf", "sar", "astro",
+                                                      "apsi", "madbench2",
+                                                      "wupwise"}
+                           : std::vector<std::string>{cfg.app})
                     : grid_apps;
     grid.policies = grid_policies.empty()
                         ? std::vector<PolicyKind>{PolicyKind::kNone,
@@ -386,7 +449,32 @@ int main(int argc, char** argv) {
   SimAuditor auditor;
   const ExperimentResult r =
       audit ? run_experiment(cfg, &auditor) : run_experiment(cfg);
-  if (audit) std::fputs(auditor.report().c_str(), csv ? stderr : stdout);
+  if (audit) {
+    std::fputs(auditor.report().c_str(), (csv || hexfloat) ? stderr : stdout);
+  }
+
+  if (hexfloat) {
+    // The hexfloat_probe line format: bit-exact, diffable across processes
+    // and across the daemon (dasched_client --hexfloat).
+    std::printf(
+        "%s %s scheme=%d exec=%lld energy=%a events=%lld "
+        "hit_rate=%a disk_reqs=%lld spin_downs=%lld rpm_changes=%lld "
+        "sched=%lld forced=%lld fallbacks=%lld mean_advance=%a "
+        "buffer_hits=%lld prefetches=%lld\n",
+        r.app.c_str(), to_string(r.policy), r.scheme ? 1 : 0,
+        static_cast<long long>(r.exec_time.count()), r.energy_j.value(),
+        static_cast<long long>(r.events), r.storage.cache_hit_rate,
+        static_cast<long long>(r.storage.disk_requests),
+        static_cast<long long>(r.storage.spin_downs),
+        static_cast<long long>(r.storage.rpm_changes),
+        static_cast<long long>(r.sched.scheduled),
+        static_cast<long long>(r.sched.forced),
+        static_cast<long long>(r.sched.theta_fallbacks),
+        r.sched.mean_advance_slots,
+        static_cast<long long>(r.runtime.buffer_hits),
+        static_cast<long long>(r.runtime.prefetches));
+    return audit && !auditor.clean() ? 1 : 0;
+  }
 
   if (csv) {
     std::printf("%s,%s,%d,%d,%.3f,%d,%.3f,%.1f,%lld,%lld,%lld,%.4f,%lld,%lld,%lld,%lld\n",

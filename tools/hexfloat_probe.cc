@@ -23,6 +23,7 @@
 
 #include "driver/experiment.h"
 #include "driver/workspace.h"
+#include "util/parse.h"
 
 namespace dasched {
 namespace {
@@ -82,11 +83,17 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--procs" && i + 1 < argc) {
-      procs = std::atoi(argv[++i]);
+      const auto v = dasched::parse_i64(argv[++i]);
+      if (!v) dasched::die_invalid_value("--procs", argv[i], "an integer");
+      procs = static_cast<int>(*v);
     } else if (arg == "--scale" && i + 1 < argc) {
-      scale = std::atof(argv[++i]);
+      const auto v = dasched::parse_f64(argv[++i]);
+      if (!v) dasched::die_invalid_value("--scale", argv[i], "a number");
+      scale = *v;
     } else if (arg == "--shards" && i + 1 < argc) {
-      shards = std::atoi(argv[++i]);
+      const auto v = dasched::parse_i64(argv[++i]);
+      if (!v) dasched::die_invalid_value("--shards", argv[i], "an integer");
+      shards = static_cast<int>(*v);
     } else if (arg == "--lane-assign" && i + 1 < argc) {
       const auto mode = dasched::parse_lane_assign(argv[++i]);
       if (!mode) {

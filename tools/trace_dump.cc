@@ -19,6 +19,7 @@
 #include "telemetry/events.h"
 #include "telemetry/export.h"
 #include "telemetry/trace_io.h"
+#include "util/parse.h"
 
 using namespace dasched;
 
@@ -159,7 +160,9 @@ int main(int argc, char** argv) {
       summary = true;
     } else if (arg == "--head") {
       if (i + 1 >= argc) usage(argv[0], 2);
-      head = std::atoll(argv[++i]);
+      const auto v = parse_i64(argv[++i]);
+      if (!v) die_invalid_value("--head", argv[i], "integer");
+      head = *v;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0], 0);
     } else if (!arg.empty() && arg[0] == '-') {
